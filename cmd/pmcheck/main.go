@@ -1,0 +1,80 @@
+// Command pmcheck runs a workload against an application and validates the
+// crash image — the post-crash consistency check (in the spirit of PMRace's
+// second stage) that turns HawkSet's race reports into demonstrated bugs.
+//
+// Usage:
+//
+//	pmcheck -app Fast-Fair -ops 4000          # buggy variant: violations
+//	pmcheck -app Fast-Fair -ops 4000 -fixed   # control: clean image
+//	pmcheck -all                              # every app with a validator
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hawkset/internal/apps"
+
+	_ "hawkset/internal/apps/apex"
+	_ "hawkset/internal/apps/fastfair"
+	_ "hawkset/internal/apps/madfs"
+	_ "hawkset/internal/apps/memcachedpm"
+	_ "hawkset/internal/apps/part"
+	_ "hawkset/internal/apps/pclht"
+	_ "hawkset/internal/apps/pmasstree"
+	_ "hawkset/internal/apps/turbohash"
+	_ "hawkset/internal/apps/wipe"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "Fast-Fair", "application to check")
+		ops     = flag.Int("ops", 4000, "main-phase operations")
+		seed    = flag.Int64("seed", 42, "workload and schedule seed")
+		fixed   = flag.Bool("fixed", false, "run the defect-free variant")
+		all     = flag.Bool("all", false, "check every application that implements crash validation")
+		maxShow = flag.Int("show", 10, "violations to print per application")
+	)
+	flag.Parse()
+
+	entries := apps.All()
+	if !*all {
+		e, err := apps.Lookup(*appName)
+		if err != nil {
+			fatal(err)
+		}
+		entries = []*apps.Entry{e}
+	}
+
+	exit := 0
+	for _, e := range entries {
+		violations, err := apps.RunAndValidate(e, *ops, *seed, apps.RunConfig{Seed: *seed, Fixed: *fixed})
+		if err != nil {
+			if *all {
+				fmt.Printf("%-15s (no crash validator)\n", e.Name)
+				continue
+			}
+			fatal(err)
+		}
+		if len(violations) == 0 {
+			fmt.Printf("%-15s crash image CONSISTENT\n", e.Name)
+			continue
+		}
+		exit = 1
+		fmt.Printf("%-15s crash image CORRUPT: %d violation(s)\n", e.Name, len(violations))
+		for i, v := range violations {
+			if i >= *maxShow {
+				fmt.Printf("    ... and %d more\n", len(violations)-i)
+				break
+			}
+			fmt.Printf("    %s\n", v)
+		}
+	}
+	os.Exit(exit)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pmcheck:", err)
+	os.Exit(1)
+}

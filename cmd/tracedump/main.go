@@ -1,0 +1,67 @@
+// Command tracedump decodes and inspects a binary HawkSet trace file
+// captured with `hawkset -trace-out`.
+//
+// Usage:
+//
+//	tracedump trace.hwkt            # summary
+//	tracedump -events trace.hwkt   # full event listing with sites
+//	tracedump -head 50 trace.hwkt  # first 50 events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hawkset/internal/trace"
+)
+
+func main() {
+	var (
+		events = flag.Bool("events", false, "print every event")
+		head   = flag.Int("head", 0, "print only the first N events")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracedump [-events|-head N] <trace file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Decode(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("trace: %d events, %d threads, %d sites\n", tr.Len(), tr.Threads(), tr.Sites.Len()-1)
+	counts := tr.Counts()
+	kinds := make([]trace.Kind, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Printf("  %-8s %d\n", k, counts[k])
+	}
+
+	if *events || *head > 0 {
+		n := tr.Len()
+		if *head > 0 && *head < n {
+			n = *head
+		}
+		fmt.Println()
+		for i := 0; i < n; i++ {
+			e := tr.Events[i]
+			fmt.Printf("%7d %-40s %s\n", i, e.String(), tr.Sites.Lookup(e.Site))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracedump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+// comparison: a laptop-scale rerun of Table 3 — HawkSet vs the
+// observation-based (PMRace-style) baseline on Fast-Fair.
+//
+// For every seed workload, HawkSet executes the application once and
+// analyzes the trace; the baseline runs a fuzzing campaign with delay
+// injection on a device with hardware-realistic cache eviction, and must
+// observe a load of visible-but-unpersisted data to report anything. The
+// expected-time-to-race metric of §5.2 (closed form t·(e/2+1)) quantifies
+// the gap.
+//
+//	go run ./examples/comparison            # 24 seeds (about a minute)
+//	go run ./examples/comparison 240        # paper-scale corpus
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"hawkset/internal/expmt"
+
+	_ "hawkset/internal/apps/fastfair"
+)
+
+func main() {
+	seeds := 24
+	if len(os.Args) > 1 {
+		n, err := strconv.Atoi(os.Args[1])
+		if err != nil {
+			log.Fatalf("usage: comparison [seed count]; got %q", os.Args[1])
+		}
+		seeds = n
+	}
+	fmt.Printf("comparing HawkSet vs the observation baseline on Fast-Fair (%d seeds)...\n\n", seeds)
+	cfg := expmt.DefaultTable3Config()
+	cfg.Seeds = seeds
+	res, err := expmt.Table3(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(expmt.FormatTable3(res))
+	fmt.Println("reading the table:")
+	fmt.Println(" - HawkSet reports both bugs from single executions whenever the workload")
+	fmt.Println("   covers the racy operations; it never needs to observe the interleaving.")
+	fmt.Println(" - the baseline must catch a load inside a short unpersisted window; the")
+	fmt.Println("   rare tree-growth branch behind bug #2 is effectively out of its reach,")
+	fmt.Println("   matching the paper (PMRace: 0 of 240 seeds, 'Avg. Time to Race = inf').")
+}

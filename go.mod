@@ -1,0 +1,3 @@
+module hawkset
+
+go 1.23

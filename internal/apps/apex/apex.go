@@ -1,0 +1,313 @@
+// Package apex reimplements APEX (Lu et al., VLDB'21), the PM-and-
+// concurrency-enabled learned index of the paper's evaluation: ALEX-style
+// gapped arrays addressed by a learned linear model, writers protected by
+// mutexes (implemented over CAS in the original, which is why §5.5 needed
+// wrapper functions and a configuration file), and lock-free searches.
+//
+// The buggy variant carries the two Table 2 races (both new):
+//
+//	#19: a search races with insert/update — the writer stores and persists
+//	    the slot value correctly inside its critical section, but the
+//	    lock-free probe can observe the window between store and persist
+//	    ((*Index).insertSlot / (*Index).updateSlot vs (*Index).probeValue,
+//	    apex_nodes.h:3479/3798 vs 2915/2933).
+//	#20: same with erase: the lock-free key probe can observe an unpersisted
+//	    key-slot transition ((*Index).eraseSlot vs (*Index).probeKey,
+//	    apex_nodes.h:3480/3606 vs 962).
+//
+// Unlike the missing-persist defects of the other applications, these stores
+// are persisted; the defect is on the reader side, so the Fixed variant
+// makes searches take the node lock.
+package apex
+
+import (
+	"hawkset/internal/apps"
+	"hawkset/internal/pmrt"
+	"hawkset/internal/ycsb"
+)
+
+// Node layout (PM): a gapped array of slots addressed by a linear model,
+// plus a stash absorbing probe-window overflow (APEX keeps ALEX's gapped
+// arrays and adds stashes exactly for collision overflow).
+//
+//	+0   slots × (key uint64, val uint64); key 0 = gap
+//	then stashSlots × (key uint64, val uint64)
+const (
+	nNodes       = 64
+	slotsPerNode = 512
+	stashSlots   = 64
+	entrySize    = 16
+	offStash     = slotsPerNode * entrySize
+	nodeSize     = (slotsPerNode + stashSlots) * entrySize
+	probeWindow  = 24 // exponential probe around the model's prediction
+
+	// tombstone marks an erased entry: probing continues past it (key 0 is
+	// the never-used gap that stops probes).
+	tombstone = ^uint64(0)
+)
+
+// Index is the learned index.
+type Index struct {
+	rt    *pmrt.Runtime
+	base  uint64 // PM address of the node array
+	locks []*pmrt.Mutex
+	fixed bool
+}
+
+// New creates an APEX instance. fixed makes searches acquire the node lock
+// (the reader-side repair for races #19/#20).
+func New(rt *pmrt.Runtime, fixed bool) apps.App {
+	x := &Index{rt: rt, fixed: fixed}
+	x.locks = make([]*pmrt.Mutex, nNodes)
+	for i := range x.locks {
+		x.locks[i] = rt.NewMutex("apex-node")
+	}
+	return x
+}
+
+// Name implements apps.App.
+func (x *Index) Name() string { return "APEX" }
+
+// Setup allocates the node array.
+func (x *Index) Setup(c *pmrt.Ctx) {
+	x.base = c.Alloc(nNodes * nodeSize)
+	c.Persist(x.base, 8)
+}
+
+// Apply implements apps.App.
+func (x *Index) Apply(c *pmrt.Ctx, op ycsb.Op) {
+	key := op.Key | 1 // key 0 marks a gap
+	switch op.Kind {
+	case ycsb.OpInsert:
+		x.Put(c, key, op.Value)
+	case ycsb.OpUpdate:
+		x.Update(c, key, op.Value)
+	case ycsb.OpGet:
+		x.Search(c, key)
+	case ycsb.OpDelete:
+		x.Erase(c, key)
+	}
+}
+
+// predict is the learned model: node and in-node position from the key's
+// high bits (an exactly-learned distribution, the best case for APEX).
+func predict(key uint64) (node uint64, pos int) {
+	h := key * 0x9e3779b97f4a7c15
+	return (h >> 58) % nNodes, int((h >> 32) % slotsPerNode)
+}
+
+func (x *Index) slotAddr(node uint64, pos int) uint64 {
+	return x.base + node*nodeSize + uint64(pos)*entrySize
+}
+
+// probeKey reads a slot key during a lock-free search (the apex_nodes.h:962
+// load of race #20).
+func (x *Index) probeKey(c *pmrt.Ctx, node uint64, pos int) uint64 {
+	return c.Load8(x.slotAddr(node, pos))
+}
+
+// probeValue reads a slot value during a lock-free search (the
+// apex_nodes.h:2915/2933 loads of race #19).
+func (x *Index) probeValue(c *pmrt.Ctx, node uint64, pos int) uint64 {
+	return c.Load8(x.slotAddr(node, pos) + 8)
+}
+
+// Search probes around the model's prediction. It is lock-free in the buggy
+// (paper-faithful) variant; the Fixed variant takes the node lock.
+func (x *Index) Search(c *pmrt.Ctx, key uint64) (uint64, bool) {
+	node, pos := predict(key)
+	if x.fixed {
+		c.Lock(x.locks[node])
+		defer c.Unlock(x.locks[node])
+	}
+	for d := 0; d < probeWindow; d++ {
+		p := (pos + d) % slotsPerNode
+		k := x.probeKey(c, node, p)
+		if k == key {
+			return x.probeValue(c, node, p), true
+		}
+		if k == 0 {
+			return 0, false // gap: the key would have been placed here
+		}
+		// Tombstones keep the probe chain alive.
+	}
+	// Probe window exhausted at insert time means the key may sit in the
+	// node's stash.
+	for i := 0; i < stashSlots; i++ {
+		k := c.Load8(x.stashAddr(node, i))
+		if k == key {
+			return c.Load8(x.stashAddr(node, i) + 8), true
+		}
+		if k == 0 {
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// Put inserts (or overwrites) under the node lock; store and persist are
+// both inside the critical section — correct persistency, yet racy against
+// the lock-free search (race #19).
+func (x *Index) Put(c *pmrt.Ctx, key, val uint64) {
+	node, pos := predict(key)
+	c.Lock(x.locks[node])
+	defer c.Unlock(x.locks[node])
+	reuse := -1
+	for d := 0; d < probeWindow; d++ {
+		p := (pos + d) % slotsPerNode
+		k := c.Load8(x.slotAddr(node, p))
+		if k == key || k == 0 {
+			x.insertSlot(c, node, p, key, val)
+			return
+		}
+		if k == tombstone && reuse < 0 {
+			reuse = p
+		}
+	}
+	if reuse >= 0 {
+		x.insertSlot(c, node, reuse, key, val)
+		return
+	}
+	// Probe window exhausted: overflow into the node's stash (APEX's
+	// collision handling), same store/persist discipline as the slots.
+	sreuse := -1
+	for i := 0; i < stashSlots; i++ {
+		k := c.Load8(x.stashAddr(node, i))
+		if k == key || k == 0 {
+			x.insertStash(c, node, i, key, val)
+			return
+		}
+		if k == tombstone && sreuse < 0 {
+			sreuse = i
+		}
+	}
+	if sreuse >= 0 {
+		x.insertStash(c, node, sreuse, key, val)
+		return
+	}
+	// Stash full too: a full SMO (node split + model retrain) would run
+	// here; the benchmark key space never fills a stash.
+}
+
+func (x *Index) stashAddr(node uint64, i int) uint64 {
+	return x.base + node*nodeSize + offStash + uint64(i)*entrySize
+}
+
+// insertStash writes a stash entry, value first, persisted — the same
+// discipline (and the same reader-side race #19 exposure) as insertSlot.
+func (x *Index) insertStash(c *pmrt.Ctx, node uint64, i int, key, val uint64) {
+	c.Store8(x.stashAddr(node, i)+8, val)
+	c.Persist(x.stashAddr(node, i)+8, 8)
+	c.Store8(x.stashAddr(node, i), key)
+	c.Persist(x.stashAddr(node, i), 8)
+}
+
+// insertSlot writes value then key, each followed by its persist
+// (apex_nodes.h:3479 — correctly persisted, §5.1).
+func (x *Index) insertSlot(c *pmrt.Ctx, node uint64, pos int, key, val uint64) {
+	c.Store8(x.slotAddr(node, pos)+8, val)
+	c.Persist(x.slotAddr(node, pos)+8, 8)
+	c.Store8(x.slotAddr(node, pos), key)
+	c.Persist(x.slotAddr(node, pos), 8)
+}
+
+// Update overwrites an existing key under the node lock (apex_nodes.h:3798).
+func (x *Index) Update(c *pmrt.Ctx, key, val uint64) {
+	node, pos := predict(key)
+	c.Lock(x.locks[node])
+	defer c.Unlock(x.locks[node])
+	for d := 0; d < probeWindow; d++ {
+		p := (pos + d) % slotsPerNode
+		k := c.Load8(x.slotAddr(node, p))
+		if k == key {
+			x.updateSlot(c, node, p, val)
+			return
+		}
+		if k == 0 {
+			return
+		}
+	}
+	for i := 0; i < stashSlots; i++ {
+		k := c.Load8(x.stashAddr(node, i))
+		if k == key {
+			c.Store8(x.stashAddr(node, i)+8, val)
+			c.Persist(x.stashAddr(node, i)+8, 8)
+			return
+		}
+		if k == 0 {
+			return
+		}
+	}
+}
+
+// updateSlot overwrites the value in place, persisted (race #19's second
+// store site).
+func (x *Index) updateSlot(c *pmrt.Ctx, node uint64, pos int, val uint64) {
+	c.Store8(x.slotAddr(node, pos)+8, val)
+	c.Persist(x.slotAddr(node, pos)+8, 8)
+}
+
+// Erase clears the key slot under the node lock (apex_nodes.h:3480/3606 —
+// persisted, but observable mid-window by the lock-free probe, race #20).
+func (x *Index) Erase(c *pmrt.Ctx, key uint64) {
+	node, pos := predict(key)
+	c.Lock(x.locks[node])
+	defer c.Unlock(x.locks[node])
+	for d := 0; d < probeWindow; d++ {
+		p := (pos + d) % slotsPerNode
+		k := c.Load8(x.slotAddr(node, p))
+		if k == key {
+			x.eraseSlot(c, node, p)
+			return
+		}
+		if k == 0 {
+			return
+		}
+	}
+	for i := 0; i < stashSlots; i++ {
+		k := c.Load8(x.stashAddr(node, i))
+		if k == key {
+			c.Store8(x.stashAddr(node, i), tombstone)
+			c.Persist(x.stashAddr(node, i), 8)
+			return
+		}
+		if k == 0 {
+			return
+		}
+	}
+}
+
+// eraseSlot tombstones a slot, persisted. The tombstone (not a bare gap)
+// keeps probe chains past the erased entry reachable.
+func (x *Index) eraseSlot(c *pmrt.Ctx, node uint64, pos int) {
+	c.Store8(x.slotAddr(node, pos), tombstone)
+	c.Persist(x.slotAddr(node, pos), 8)
+}
+
+func init() {
+	apps.Register(&apps.Entry{
+		Name:    "APEX",
+		Factory: New,
+		Bugs: []apps.BugSpec{
+			{ID: 19, New: true, AllowPersisted: true,
+				StoreFunc: "apex.(*Index).insertSlot", LoadFunc: "apex.(*Index).probeValue",
+				Description: "load unpersisted value"},
+			// The paper reports two store sites for #19 (apex_nodes.h:3479
+			// and :3798): the insert and the in-place update.
+			{ID: 19, New: true, AllowPersisted: true,
+				StoreFunc: "apex.(*Index).updateSlot", LoadFunc: "apex.(*Index).probeValue",
+				Description: "load unpersisted value"},
+			{ID: 20, New: true, AllowPersisted: true,
+				StoreFunc: "apex.(*Index).eraseSlot", LoadFunc: "apex.(*Index).probeKey",
+				Description: "load unpersisted key"},
+		},
+		Benign: apps.Pairs(
+			[]string{
+				"apex.(*Index).insertSlot", "apex.(*Index).updateSlot",
+				"apex.(*Index).eraseSlot",
+			},
+			[]string{"apex.(*Index).probeKey", "apex.(*Index).probeValue", "apex.(*Index).Search"},
+		),
+		Spec: ycsb.DefaultSpec,
+	})
+}

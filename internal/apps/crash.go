@@ -1,0 +1,53 @@
+package apps
+
+import (
+	"fmt"
+
+	"hawkset/internal/pmem"
+	"hawkset/internal/pmrt"
+	"hawkset/internal/ycsb"
+)
+
+// CrashValidator is implemented by applications that can check their own
+// persistent image for structural corruption: the post-crash evidence that a
+// persistency-induced race is malign (a consistency checker in the spirit of
+// PMRace's second stage, which validates post-failure state — §5.2 excludes
+// it from the timing comparison, but it is what turns a race report into a
+// demonstrated bug).
+//
+// ValidateCrash inspects the *persistent* view only (what survives a crash)
+// and returns a description of every invariant violation found.
+type CrashValidator interface {
+	ValidateCrash(p *pmem.Pool) []string
+}
+
+// RunAndValidate executes a generated workload against the application and
+// validates the crash image at the worst possible moment: immediately after
+// the last operation, before any shutdown-time flushing. It returns the
+// violations (empty when the image is consistent) and errors if the
+// application does not implement CrashValidator.
+func RunAndValidate(e *Entry, opCount int, seed int64, cfg RunConfig) ([]string, error) {
+	if e.MaxOps > 0 && opCount > e.MaxOps {
+		opCount = e.MaxOps
+	}
+	w := ycsb.Generate(e.Spec(opCount), seed)
+	poolSize := e.PoolSize
+	if poolSize == 0 {
+		poolSize = 32 << 20
+	}
+	rt := pmrt.New(pmrt.Config{
+		Seed:     cfg.Seed,
+		PoolSize: poolSize,
+		EADR:     cfg.EADR,
+		NoTrace:  true, // crash checking needs no trace
+	})
+	app := e.Factory(rt, cfg.Fixed)
+	if err := RunOn(rt, app, w); err != nil {
+		return nil, err
+	}
+	v, ok := app.(CrashValidator)
+	if !ok {
+		return nil, fmt.Errorf("apps: %s does not implement crash validation", e.Name)
+	}
+	return v.ValidateCrash(rt.Pool), nil
+}

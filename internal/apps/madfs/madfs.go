@@ -1,0 +1,170 @@
+// Package madfs reimplements MadFS (Zhong et al., FAST'23), the user-space
+// PM filesystem of the paper's evaluation: each file is a compact,
+// crash-consistent log of 8-byte entries mapping virtual blocks to physical
+// blocks, updated lock-free (Table 1), with an explicit fsync contract.
+//
+// MadFS carries no malign seeded defects: the paper found several
+// persistency-induced races in it but concluded all are tolerated by the
+// filesystem's relaxed guarantees — data is only durable after an explicit
+// fsync, so readers observing unpersisted mappings are within contract
+// (§5.1). The registry therefore lists only benign pairs, and HawkSet's
+// reports against MadFS demonstrate how the tool behaves on an application
+// with different crash-consistency guarantees.
+package madfs
+
+import (
+	"hawkset/internal/apps"
+	"hawkset/internal/pmrt"
+	"hawkset/internal/ycsb"
+)
+
+// File layout (PM):
+//
+//	blockTable: nBlocks × uint64 (virtual block → physical block address)
+//	logHead:    uint64 (count of committed log entries)
+//	log:        capLog × uint64 (packed: vblock<<32 | pblockIndex)
+//
+// Data blocks are 4 KB and allocated from the PM heap.
+const (
+	blockSize = 4096
+	nBlocks   = 1024 // 4 MB file
+	capLog    = 1 << 16
+)
+
+// FS is a single-file MadFS instance (the benchmark uses one shared file).
+type FS struct {
+	rt         *pmrt.Runtime
+	blockTable uint64
+	logHead    uint64
+	logBase    uint64
+	fixed      bool
+	// freeBlocks recycles superseded copy-on-write blocks. Racing writers to
+	// the same virtual block can enqueue one block twice; MadFS tolerates
+	// that the same way it tolerates its other relaxed-contract races, and
+	// it only affects scratch data contents, never metadata.
+	freeBlocks []uint64
+}
+
+// New creates a MadFS instance. There are no seeded defects; fixed selects
+// eager persistence of the block table (a stricter-than-contract mode that
+// removes even the benign reports).
+func New(rt *pmrt.Runtime, fixed bool) apps.App {
+	return &FS{rt: rt, fixed: fixed}
+}
+
+// Name implements apps.App.
+func (f *FS) Name() string { return "MadFS" }
+
+// Setup allocates the file's metadata structures.
+func (f *FS) Setup(c *pmrt.Ctx) {
+	f.blockTable = c.Alloc(nBlocks * 8)
+	f.logHead = c.Alloc(8)
+	f.logBase = c.Alloc(capLog * 8)
+	c.Persist(f.blockTable, 8)
+	c.Persist(f.logHead, 8)
+}
+
+// Apply implements apps.App.
+func (f *FS) Apply(c *pmrt.Ctx, op ycsb.Op) {
+	switch op.Kind {
+	case ycsb.OpWrite:
+		f.Write(c, op.Off, op.Len, op.Value)
+	default:
+		f.Read(c, op.Off, op.Len)
+	}
+}
+
+// Write performs a copy-on-write block write: new data block, persisted,
+// then an atomic 8-byte log append publishes it. The block-table update is
+// deliberately left unpersisted — MadFS's contract defers durability to
+// fsync — which is the source of the benign reports.
+func (f *FS) Write(c *pmrt.Ctx, off, length, val uint64) {
+	vblock := (off / blockSize) % nBlocks
+	// Copy-on-write data block, persisted before publication. The benchmark
+	// writes one word per 512-byte sector (the data content is irrelevant to
+	// the races; flushing only the touched lines keeps traces compact).
+	var pblock uint64
+	if n := len(f.freeBlocks); n > 0 {
+		pblock = f.freeBlocks[n-1]
+		f.freeBlocks = f.freeBlocks[:n-1]
+	} else {
+		pblock = c.Alloc(blockSize)
+	}
+	for i := uint64(0); i < length && i < blockSize; i += 512 {
+		c.Store8(pblock+i, val+i)
+		c.Flush(pblock + i)
+	}
+	c.Fence()
+
+	// Atomic 8-byte log append (the crash-consistent commit point). The log
+	// is a ring; real MadFS compacts it at fsync.
+	head := c.Load8(f.logHead)
+	c.NTStore8(f.logBase+(head%capLog)*8, vblock<<32|pblock>>12)
+	c.Fence()
+	c.Store8(f.logHead, head+1)
+	c.Persist(f.logHead, 8)
+
+	// Volatile block-table update: visible to concurrent reads, durable only
+	// after Fsync replays the log. The superseded block returns to the heap
+	// (MadFS garbage-collects overwritten blocks), so the device footprint
+	// stays bounded by the file size.
+	old := c.Load8(f.blockTable + vblock*8)
+	f.publishBlock(c, vblock, pblock)
+	if old != 0 {
+		f.freeBlocks = append(f.freeBlocks, old)
+	}
+}
+
+// publishBlock installs the new physical block in the block table without
+// persisting it — within MadFS's fsync contract, and the store side of the
+// benign reports.
+func (f *FS) publishBlock(c *pmrt.Ctx, vblock, pblock uint64) {
+	c.Store8(f.blockTable+vblock*8, pblock)
+	if f.fixed {
+		c.Persist(f.blockTable+vblock*8, 8)
+	}
+}
+
+// Read resolves the block mapping lock-free and reads the data.
+func (f *FS) Read(c *pmrt.Ctx, off, length uint64) uint64 {
+	vblock := (off / blockSize) % nBlocks
+	pblock := f.lookupBlock(c, vblock)
+	if pblock == 0 {
+		return 0
+	}
+	sum := uint64(0)
+	for i := uint64(0); i < length && i < blockSize; i += 1024 {
+		sum += c.Load8(pblock + i)
+	}
+	return sum
+}
+
+// lookupBlock reads the block table lock-free (the load side of the benign
+// reports).
+func (f *FS) lookupBlock(c *pmrt.Ctx, vblock uint64) uint64 {
+	return c.Load8(f.blockTable + vblock*8)
+}
+
+// Fsync persists the block table, honoring the explicit-durability
+// contract.
+func (f *FS) Fsync(c *pmrt.Ctx) {
+	c.Persist(f.blockTable, nBlocks*8)
+}
+
+func init() {
+	apps.Register(&apps.Entry{
+		Name:    "MadFS",
+		Factory: New,
+		Bugs:    nil, // all reported races are benign (§5.1)
+		// The write-only benchmark (§5) races writers against writers: the
+		// lock-free log-head updates and the deferred block-table stores are
+		// read both by other writers and by reads. All within the fsync
+		// contract.
+		Benign: apps.Pairs(
+			[]string{"madfs.(*FS).publishBlock", "madfs.(*FS).Write"},
+			[]string{"madfs.(*FS).lookupBlock", "madfs.(*FS).Read", "madfs.(*FS).Write"},
+		),
+		Spec:     ycsb.FileSpec,
+		PoolSize: 64 << 20, // live blocks are bounded by the file size
+	})
+}

@@ -1,0 +1,121 @@
+package madfs
+
+import (
+	"testing"
+
+	"hawkset/internal/pmrt"
+	"hawkset/internal/ycsb"
+)
+
+func TestWriteRead(t *testing.T) {
+	rt := pmrt.New(pmrt.Config{Seed: 1, PoolSize: 64 << 20})
+	fs := New(rt, false).(*FS)
+	err := rt.Run(func(c *pmrt.Ctx) {
+		fs.Setup(c)
+		fs.Write(c, 0, 4096, 7)
+		fs.Write(c, 8192, 4096, 9)
+		if got := fs.Read(c, 0, 8); got != 7 {
+			t.Fatalf("Read(0) = %d, want 7", got)
+		}
+		if got := fs.Read(c, 8192, 8); got != 9 {
+			t.Fatalf("Read(8192) = %d, want 9", got)
+		}
+		if got := fs.Read(c, 4096, 8); got != 0 {
+			t.Fatalf("Read of unwritten block = %d, want 0", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOverwriteRecyclesBlocks: the copy-on-write free pool keeps the device
+// footprint bounded under overwrites.
+func TestOverwriteRecyclesBlocks(t *testing.T) {
+	rt := pmrt.New(pmrt.Config{Seed: 1, PoolSize: 64 << 20})
+	fs := New(rt, false).(*FS)
+	err := rt.Run(func(c *pmrt.Ctx) {
+		fs.Setup(c)
+		for i := 0; i < 100; i++ {
+			fs.Write(c, 0, 4096, uint64(i))
+		}
+		if got := fs.Read(c, 0, 8); got != 99 {
+			t.Fatalf("Read = %d, want 99", got)
+		}
+		if len(fs.freeBlocks) == 0 {
+			t.Fatal("overwrites recycled no blocks")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 overwrites of one block must not consume 100 blocks of space.
+	if rt.Heap.InUse() > 20*4096+1<<20 {
+		t.Fatalf("heap in use = %d bytes; copy-on-write blocks were not recycled", rt.Heap.InUse())
+	}
+}
+
+// TestFsyncPersistsBlockTable: before fsync the mapping is volatile
+// (in-contract data loss); after fsync it survives a crash.
+func TestFsyncPersistsBlockTable(t *testing.T) {
+	rt := pmrt.New(pmrt.Config{Seed: 1, PoolSize: 64 << 20})
+	fs := New(rt, false).(*FS)
+	err := rt.Run(func(c *pmrt.Ctx) {
+		fs.Setup(c)
+		fs.Write(c, 0, 4096, 7)
+		if rt.Pool.ReadPersistent8(fs.blockTable) != 0 {
+			t.Fatal("block table persisted before fsync")
+		}
+		fs.Fsync(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Pool.ReadPersistent8(fs.blockTable) == 0 {
+		t.Fatal("fsync did not persist the block table")
+	}
+}
+
+// TestLogAppendIsCommitPoint: the 8-byte log entry is persisted by its fence
+// even when the block table is not.
+func TestLogAppendIsCommitPoint(t *testing.T) {
+	rt := pmrt.New(pmrt.Config{Seed: 1, PoolSize: 64 << 20})
+	fs := New(rt, false).(*FS)
+	err := rt.Run(func(c *pmrt.Ctx) {
+		fs.Setup(c)
+		fs.Write(c, 0, 4096, 7)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Pool.ReadPersistent8(fs.logBase) == 0 {
+		t.Fatal("log entry not persisted (NT-store + fence broken)")
+	}
+	if rt.Pool.ReadPersistent8(fs.logHead) != 1 {
+		t.Fatalf("log head = %d, want 1", rt.Pool.ReadPersistent8(fs.logHead))
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	rt := pmrt.New(pmrt.Config{Seed: 7, PoolSize: 64 << 20})
+	fs := New(rt, false).(*FS)
+	w := ycsb.Generate(ycsb.FileSpec(400), 7)
+	err := rt.Run(func(c *pmrt.Ctx) {
+		fs.Setup(c)
+		var ths []*pmrt.Thread
+		for _, ops := range w.Threads {
+			ops := ops
+			ths = append(ths, c.Spawn(func(wc *pmrt.Ctx) {
+				for _, op := range ops {
+					fs.Apply(wc, op)
+				}
+			}))
+		}
+		for _, th := range ths {
+			c.Join(th)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

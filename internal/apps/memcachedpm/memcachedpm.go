@@ -1,0 +1,491 @@
+// Package memcachedpm reimplements Memcached-pmem (Lenovo's PM fork of
+// memcached), the in-memory key-value store of the paper's evaluation: a
+// hash table of PM items managed by a slab allocator with an LRU list.
+// Mutating commands take per-bucket locks; reads and LRU maintenance are
+// lock-free (Table 1 lists the application as Lock-Free).
+//
+// The buggy variant carries the six Table 2 races, all previously reported
+// by PMRace:
+//
+//	#10/#11: append/prepend build a new item from an old one and publish the
+//	    copied header (#10, (*Cache).copyHeader) and data (#11,
+//	    (*Cache).copyData) without persisting them.
+//	#12: linking an item into its hash chain does not persist the chain
+//	    pointer ((*Cache).linkItem vs (*Cache).walkChain).
+//	#13: the slab allocator's free-list push leaves the next pointer
+//	    unpersisted ((*Slabs).push vs (*Slabs).pop).
+//	#14: item metadata (flags/exptime) is updated without persist
+//	    ((*Cache).touchMeta vs (*Cache).readMeta).
+//	#15: LRU timestamp bumps are unpersisted ((*Cache).lruBump vs
+//	    (*Cache).lruRead).
+//
+// The package also reproduces the PM-reuse pattern that defeats the
+// Initialization Removal Heuristic (§5.4, §7): the slab allocator recycles
+// item memory, and recycled items are reinitialized — safely, but on
+// already-published addresses, which the IRH can no longer prune.
+package memcachedpm
+
+import (
+	"fmt"
+
+	"hawkset/internal/apps"
+	"hawkset/internal/pmem"
+	"hawkset/internal/pmrt"
+	"hawkset/internal/ycsb"
+)
+
+// Item layout (PM):
+//
+//	+0   key     uint64 (0 = free)
+//	+8   value   uint64
+//	+16  hnext   uint64: hash-chain pointer
+//	+24  flags   uint64: metadata (#14)
+//	+32  lrutime uint64: LRU clock (#15)
+//	+40  casid   uint64
+//	+48  fnext   uint64: slab free-list pointer (#13)
+//	+56  pad
+const (
+	offKey   = 0
+	offVal   = 8
+	offHNext = 16
+	offFlags = 24
+	offLRU   = 32
+	offCAS   = 40
+	offFNext = 48
+	itemSize = 64
+
+	nBuckets = 4096
+)
+
+// Slabs is the PM slab allocator: a free list threaded through items.
+type Slabs struct {
+	rt    *pmrt.Runtime
+	head  uint64 // PM address of the free-list head pointer
+	mu    *pmrt.Mutex
+	fixed bool
+}
+
+// push returns an item to the free list. BUG #13 (Table 2 #13): the buggy
+// variant stores the next pointer without persisting it.
+func (s *Slabs) push(c *pmrt.Ctx, item uint64) {
+	c.Lock(s.mu)
+	old := c.Load8(s.head)
+	c.Store8(item+offFNext, old)
+	c.Store8(s.head, item)
+	if s.fixed {
+		c.Persist(item+offFNext, 8)
+		c.Persist(s.head, 8)
+	}
+	c.Unlock(s.mu)
+}
+
+// pop takes an item from the free list (the slabs.c:412 load), or allocates
+// fresh PM when the list is empty.
+func (s *Slabs) pop(c *pmrt.Ctx) uint64 {
+	c.Lock(s.mu)
+	head := c.Load8(s.head)
+	if head != 0 {
+		next := c.Load8(head + offFNext)
+		c.Store8(s.head, next)
+		if s.fixed {
+			c.Persist(s.head, 8)
+		}
+		c.Unlock(s.mu)
+		// Recycled memory: visible to the analysis only when allocator
+		// instrumentation is enabled (the §7 extension).
+		c.RecordAlloc(head, itemSize)
+		return head
+	}
+	c.Unlock(s.mu)
+	return c.Alloc(itemSize)
+}
+
+// Cache is the memcached store.
+type Cache struct {
+	rt    *pmrt.Runtime
+	slabs *Slabs
+	table uint64 // PM address of the bucket array (nBuckets pointers)
+	locks []*pmrt.Mutex
+	clock uint64 // coarse LRU clock (volatile; mirrors current_time)
+	fixed bool
+}
+
+// New creates a Memcached-pmem instance. fixed repairs races #10–#15.
+func New(rt *pmrt.Runtime, fixed bool) apps.App {
+	cc := &Cache{rt: rt, fixed: fixed}
+	cc.slabs = &Slabs{rt: rt, mu: rt.NewMutex("slabs"), fixed: fixed}
+	cc.locks = make([]*pmrt.Mutex, nBuckets)
+	for i := range cc.locks {
+		cc.locks[i] = rt.NewMutex("mc-bucket")
+	}
+	return cc
+}
+
+// Name implements apps.App.
+func (cc *Cache) Name() string { return "Memcached-pmem" }
+
+// Setup allocates the hash table and the free-list head.
+func (cc *Cache) Setup(c *pmrt.Ctx) {
+	cc.table = c.Alloc(nBuckets * 8)
+	cc.slabs.head = c.Alloc(8)
+	c.Persist(cc.table, 8)
+	c.Persist(cc.slabs.head, 8)
+}
+
+// Apply implements apps.App.
+func (cc *Cache) Apply(c *pmrt.Ctx, op ycsb.Op) {
+	cc.clock++
+	key := op.Key | 1 // key 0 is the free marker
+	switch op.Kind {
+	case ycsb.OpSet, ycsb.OpInsert, ycsb.OpUpdate:
+		cc.Set(c, key, op.Value)
+	case ycsb.OpGet:
+		cc.Get(c, key)
+	case ycsb.OpAdd:
+		cc.Add(c, key, op.Value)
+	case ycsb.OpReplace:
+		cc.Replace(c, key, op.Value)
+	case ycsb.OpAppend, ycsb.OpPrepend:
+		cc.Concat(c, key, op.Value)
+	case ycsb.OpCAS:
+		cc.CAS(c, key, op.Value, op.Value+1)
+	case ycsb.OpDelete:
+		cc.Delete(c, key)
+	case ycsb.OpIncr:
+		cc.Delta(c, key, 1)
+	case ycsb.OpDecr:
+		cc.Delta(c, key, ^uint64(0))
+	}
+}
+
+func hash(key uint64) uint64 {
+	key *= 0x9e3779b97f4a7c15
+	return key >> 40
+}
+
+func (cc *Cache) bucketAddr(key uint64) (uint64, *pmrt.Mutex) {
+	b := hash(key) % nBuckets
+	return cc.table + b*8, cc.locks[b]
+}
+
+// walkChain finds key's item in a hash chain, lock-free (the items.c:464 /
+// memcached.c:2805 load side).
+func (cc *Cache) walkChain(c *pmrt.Ctx, bucket uint64, key uint64) uint64 {
+	it := c.Load8(bucket)
+	for it != 0 {
+		if c.Load8(it+offKey) == key {
+			return it
+		}
+		it = c.Load8(it + offHNext)
+	}
+	return 0
+}
+
+// Get reads an item lock-free and bumps its LRU position.
+func (cc *Cache) Get(c *pmrt.Ctx, key uint64) (uint64, bool) {
+	bucket, mu := cc.bucketAddr(key)
+	it := cc.walkChain(c, bucket, key)
+	if it == 0 {
+		return 0, false
+	}
+	val := c.Load8(it + offVal)
+	_ = cc.readMeta(c, it)
+	_ = cc.lruRead(c, it)
+	cc.lruBump(c, bucket, mu, key, it)
+	return val, true
+}
+
+// readMeta loads item metadata lock-free (the memcached.c:2824 load of
+// race #14).
+func (cc *Cache) readMeta(c *pmrt.Ctx, it uint64) uint64 {
+	return c.Load8(it + offFlags)
+}
+
+// lruRead inspects the LRU clock of a chain head lock-free (items.c:623).
+func (cc *Cache) lruRead(c *pmrt.Ctx, it uint64) uint64 {
+	return c.Load8(it + offLRU)
+}
+
+// lruBump refreshes an item's LRU timestamp. BUG #15 (Table 2 #15): the
+// store is never persisted; it races with concurrent lruRead/Get. The fixed
+// variant takes the bucket lock through store+persist and re-validates that
+// the lock-free lookup's item is still linked — without the re-check, a
+// delete+slab-reuse between the lookup and the bump would let the bump write
+// into an item being reinitialized under another bucket's lock.
+func (cc *Cache) lruBump(c *pmrt.Ctx, bucket uint64, mu *pmrt.Mutex, key, it uint64) {
+	if cc.fixed {
+		c.Lock(mu)
+		if cc.walkChainLocked(c, bucket, key) == it {
+			c.Store8(it+offLRU, cc.clock)
+			c.Persist(it+offLRU, 8)
+		}
+		c.Unlock(mu)
+		return
+	}
+	c.Store8(it+offLRU, cc.clock)
+}
+
+// initItem writes a fresh item's fields. New items come from the slab free
+// list, so this is the reinitialization-of-published-memory pattern that the
+// IRH cannot prune (§5.4): the stores are safe (the item is unlinked) but
+// classify as false positives.
+func (cc *Cache) initItem(c *pmrt.Ctx, it, key, val uint64) {
+	c.Store8(it+offKey, key)
+	c.Store8(it+offVal, val)
+	c.Store8(it+offFlags, key^val)
+	c.Store8(it+offLRU, cc.clock)
+	c.Store8(it+offCAS, 1)
+	c.Persist(it, itemSize)
+}
+
+// linkItem publishes an item at the head of its hash chain. BUG #12
+// (Table 2 #12): the buggy variant persists the bucket head but not the
+// item's chain pointer (items.c:423).
+func (cc *Cache) linkItem(c *pmrt.Ctx, bucket, it uint64) {
+	old := c.Load8(bucket)
+	c.Store8(it+offHNext, old)
+	if cc.fixed {
+		c.Persist(it+offHNext, 8)
+	}
+	c.Store8(bucket, it)
+	c.Persist(bucket, 8)
+}
+
+// unlink removes an item from its chain (persisted; not a seeded defect).
+func (cc *Cache) unlink(c *pmrt.Ctx, bucket, it uint64) {
+	prev := uint64(0)
+	cur := c.Load8(bucket)
+	for cur != 0 && cur != it {
+		prev = cur
+		cur = c.Load8(cur + offHNext)
+	}
+	if cur == 0 {
+		return
+	}
+	next := c.Load8(cur + offHNext)
+	if prev == 0 {
+		c.Store8(bucket, next)
+		c.Persist(bucket, 8)
+	} else {
+		c.Store8(prev+offHNext, next)
+		c.Persist(prev+offHNext, 8)
+	}
+}
+
+// Set stores key=val (memcached "set": insert or overwrite).
+func (cc *Cache) Set(c *pmrt.Ctx, key, val uint64) {
+	bucket, mu := cc.bucketAddr(key)
+	c.Lock(mu)
+	defer c.Unlock(mu)
+	if it := cc.walkChainLocked(c, bucket, key); it != 0 {
+		c.Store8(it+offVal, val)
+		c.Persist(it+offVal, 8)
+		cc.touchMeta(c, it, key^val)
+		return
+	}
+	it := cc.slabs.pop(c)
+	cc.initItem(c, it, key, val)
+	cc.linkItem(c, bucket, it)
+}
+
+// walkChainLocked is the writer-side chain walk (under the bucket lock).
+func (cc *Cache) walkChainLocked(c *pmrt.Ctx, bucket uint64, key uint64) uint64 {
+	it := c.Load8(bucket)
+	for it != 0 {
+		if c.Load8(it+offKey) == key {
+			return it
+		}
+		it = c.Load8(it + offHNext)
+	}
+	return 0
+}
+
+// touchMeta updates item metadata. BUG #14 (Table 2 #14): the buggy variant
+// leaves the metadata store unpersisted (items.c:1096).
+func (cc *Cache) touchMeta(c *pmrt.Ctx, it, flags uint64) {
+	c.Store8(it+offFlags, flags)
+	if cc.fixed {
+		c.Persist(it+offFlags, 8)
+	}
+}
+
+// Add inserts only if absent.
+func (cc *Cache) Add(c *pmrt.Ctx, key, val uint64) {
+	bucket, mu := cc.bucketAddr(key)
+	c.Lock(mu)
+	defer c.Unlock(mu)
+	if cc.walkChainLocked(c, bucket, key) != 0 {
+		return
+	}
+	it := cc.slabs.pop(c)
+	cc.initItem(c, it, key, val)
+	cc.linkItem(c, bucket, it)
+}
+
+// Replace overwrites only if present.
+func (cc *Cache) Replace(c *pmrt.Ctx, key, val uint64) {
+	bucket, mu := cc.bucketAddr(key)
+	c.Lock(mu)
+	defer c.Unlock(mu)
+	it := cc.walkChainLocked(c, bucket, key)
+	if it == 0 {
+		return
+	}
+	c.Store8(it+offVal, val)
+	c.Persist(it+offVal, 8)
+}
+
+// Concat implements append/prepend: memcached-pmem builds a NEW item from
+// the old one, copies header and data, and swaps it into the chain.
+func (cc *Cache) Concat(c *pmrt.Ctx, key, extra uint64) {
+	bucket, mu := cc.bucketAddr(key)
+	c.Lock(mu)
+	defer c.Unlock(mu)
+	old := cc.walkChainLocked(c, bucket, key)
+	if old == 0 {
+		return
+	}
+	nit := cc.slabs.pop(c)
+	cc.copyHeader(c, nit, old, key)
+	cc.copyData(c, nit, old, extra)
+	cc.unlink(c, bucket, old)
+	cc.linkItem(c, bucket, nit)
+	cc.slabs.push(c, old)
+}
+
+// copyHeader copies the old item's header into the new item. BUG #10
+// (Table 2 #10): the copy reads the old, possibly-unpersisted item and the
+// new header is itself published without persist (memcached.c:4292).
+func (cc *Cache) copyHeader(c *pmrt.Ctx, nit, old, key uint64) {
+	c.Store8(nit+offKey, key)
+	flags := c.Load8(old + offFlags)
+	c.Store8(nit+offFlags, flags)
+	c.Store8(nit+offCAS, c.Load8(old+offCAS)+1)
+	if cc.fixed {
+		c.Persist(nit, 48)
+	}
+}
+
+// copyData concatenates the old value with the new suffix. BUG #11
+// (Table 2 #11): same pattern as #10 on the data word (memcached.c:4293).
+func (cc *Cache) copyData(c *pmrt.Ctx, nit, old, extra uint64) {
+	v := c.Load8(old + offVal)
+	c.Store8(nit+offVal, v+extra)
+	if cc.fixed {
+		c.Persist(nit+offVal, 8)
+	}
+}
+
+// CAS performs compare-and-set on the item's value.
+func (cc *Cache) CAS(c *pmrt.Ctx, key, expect, val uint64) bool {
+	bucket, mu := cc.bucketAddr(key)
+	c.Lock(mu)
+	defer c.Unlock(mu)
+	it := cc.walkChainLocked(c, bucket, key)
+	if it == 0 {
+		return false
+	}
+	if c.Load8(it+offVal) != expect {
+		return false
+	}
+	c.Store8(it+offVal, val)
+	c.Store8(it+offCAS, c.Load8(it+offCAS)+1)
+	c.Persist(it+offVal, 8)
+	c.Persist(it+offCAS, 8)
+	return true
+}
+
+// Delta implements incr/decr.
+func (cc *Cache) Delta(c *pmrt.Ctx, key, d uint64) {
+	bucket, mu := cc.bucketAddr(key)
+	c.Lock(mu)
+	defer c.Unlock(mu)
+	it := cc.walkChainLocked(c, bucket, key)
+	if it == 0 {
+		return
+	}
+	v := c.Load8(it + offVal)
+	c.Store8(it+offVal, v+d)
+	c.Persist(it+offVal, 8)
+}
+
+// Delete unlinks the item and recycles its memory through the slab
+// allocator — the reuse that defeats the IRH.
+func (cc *Cache) Delete(c *pmrt.Ctx, key uint64) {
+	bucket, mu := cc.bucketAddr(key)
+	c.Lock(mu)
+	defer c.Unlock(mu)
+	it := cc.walkChainLocked(c, bucket, key)
+	if it == 0 {
+		return
+	}
+	cc.unlink(c, bucket, it)
+	c.Store8(it+offKey, 0)
+	c.Persist(it+offKey, 8)
+	cc.slabs.push(c, it)
+}
+
+// ValidateCrash compares the items reachable through hash chains in both
+// views: bug #12's unpersisted chain pointers truncate chains in the crash
+// image, orphaning every item behind them.
+func (cc *Cache) ValidateCrash(p *pmem.Pool) []string {
+	var out []string
+	count := func(read func(uint64) uint64) int {
+		n := 0
+		for b := uint64(0); b < nBuckets; b++ {
+			it := read(cc.table + b*8)
+			hops := 0
+			for it != 0 && hops < 1<<10 {
+				if read(it+offKey) != 0 {
+					n++
+				}
+				it = read(it + offHNext)
+				hops++
+			}
+		}
+		return n
+	}
+	vol := count(p.Load8)
+	per := count(p.ReadPersistent8)
+	if per < vol {
+		out = append(out, fmt.Sprintf(
+			"silent data loss: %d of %d linked items unreachable in the crash image (bug #12)", vol-per, vol))
+	}
+	return out
+}
+
+func init() {
+	apps.Register(&apps.Entry{
+		Name:    "Memcached-pmem",
+		Factory: New,
+		Bugs: []apps.BugSpec{
+			{ID: 10, StoreFunc: "memcachedpm.(*Cache).copyHeader", LoadFunc: "memcachedpm.(*Cache)",
+				Description: "load unpersisted value"},
+			{ID: 11, StoreFunc: "memcachedpm.(*Cache).copyData", LoadFunc: "memcachedpm.(*Cache)",
+				Description: "load unpersisted value"},
+			{ID: 12, StoreFunc: "memcachedpm.(*Cache).linkItem", LoadFunc: "memcachedpm.(*Cache).walkChain",
+				Description: "load unpersisted pointer"},
+			{ID: 13, StoreFunc: "memcachedpm.(*Slabs).push", LoadFunc: "memcachedpm.(*Slabs).pop",
+				Description: "load unpersisted pointer"},
+			{ID: 14, StoreFunc: "memcachedpm.(*Cache).touchMeta", LoadFunc: "memcachedpm.(*Cache).readMeta",
+				Description: "load unpersisted metadata"},
+			{ID: 15, StoreFunc: "memcachedpm.(*Cache).lruBump", LoadFunc: "memcachedpm.(*Cache).lruRead",
+				Description: "load unpersisted metadata"},
+		},
+		Benign: apps.Pairs(
+			[]string{
+				"memcachedpm.(*Cache).Set", "memcachedpm.(*Cache).Replace",
+				"memcachedpm.(*Cache).CAS", "memcachedpm.(*Cache).Delta",
+				"memcachedpm.(*Cache).linkItem", "memcachedpm.(*Cache).unlink",
+				"memcachedpm.(*Cache).Delete", "memcachedpm.(*Cache).touchMeta",
+				"memcachedpm.(*Cache).lruBump", "memcachedpm.(*Cache).copyHeader",
+				"memcachedpm.(*Cache).copyData",
+			},
+			[]string{
+				"memcachedpm.(*Cache).Get", "memcachedpm.(*Cache).walkChain",
+				"memcachedpm.(*Cache).readMeta", "memcachedpm.(*Cache).lruRead",
+			},
+		),
+		Spec: ycsb.MemcachedSpec,
+	})
+}

@@ -1,0 +1,170 @@
+package apps_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hawkset/internal/pmrt"
+
+	"hawkset/internal/apps/apex"
+	"hawkset/internal/apps/fastfair"
+	"hawkset/internal/apps/memcachedpm"
+	"hawkset/internal/apps/part"
+	"hawkset/internal/apps/pclht"
+	"hawkset/internal/apps/pmasstree"
+	"hawkset/internal/apps/turbohash"
+	"hawkset/internal/apps/wipe"
+)
+
+// kvAdapter exposes a uniform single-threaded KV surface over each store for
+// model-based testing against a Go map.
+type kvAdapter struct {
+	name string
+	// build creates the store and returns put/get/del closures. The model
+	// runs both variants: missing persists change what survives a crash,
+	// never the pre-crash volatile behavior.
+	build func(rt *pmrt.Runtime, c *pmrt.Ctx, fixed bool) (put func(k, v uint64), get func(k uint64) (uint64, bool), del func(k uint64))
+	// strict requires present keys to be found; non-strict stores may shed
+	// inserts (APEX's bounded probe window).
+	strict bool
+}
+
+func adapters() []kvAdapter {
+	return []kvAdapter{
+		{name: "Fast-Fair", strict: true,
+			build: func(rt *pmrt.Runtime, c *pmrt.Ctx, fixed bool) (func(k, v uint64), func(k uint64) (uint64, bool), func(k uint64)) {
+				t := fastfair.New(rt, fixed).(*fastfair.Tree)
+				t.Setup(c)
+				return func(k, v uint64) { t.Insert(c, k, v) },
+					func(k uint64) (uint64, bool) { return t.Get(c, k) },
+					func(k uint64) { t.Delete(c, k) }
+			}},
+		{name: "TurboHash", strict: true,
+			build: func(rt *pmrt.Runtime, c *pmrt.Ctx, fixed bool) (func(k, v uint64), func(k uint64) (uint64, bool), func(k uint64)) {
+				t := turbohash.New(rt, fixed).(*turbohash.Table)
+				t.Setup(c)
+				return func(k, v uint64) { t.Put(c, k, v) },
+					func(k uint64) (uint64, bool) { return t.Get(c, k) },
+					func(k uint64) { t.Delete(c, k) }
+			}},
+		{name: "P-CLHT", strict: true,
+			build: func(rt *pmrt.Runtime, c *pmrt.Ctx, fixed bool) (func(k, v uint64), func(k uint64) (uint64, bool), func(k uint64)) {
+				t := pclht.New(rt, fixed).(*pclht.Table)
+				t.Setup(c)
+				return func(k, v uint64) { t.Put(c, k, v) },
+					func(k uint64) (uint64, bool) { return t.Get(c, k) },
+					func(k uint64) { t.Delete(c, k) }
+			}},
+		{name: "P-Masstree", strict: true,
+			build: func(rt *pmrt.Runtime, c *pmrt.Ctx, fixed bool) (func(k, v uint64), func(k uint64) (uint64, bool), func(k uint64)) {
+				t := pmasstree.New(rt, fixed).(*pmasstree.Tree)
+				t.Setup(c)
+				return func(k, v uint64) { t.Put(c, k, v) },
+					func(k uint64) (uint64, bool) { return t.Get(c, k) },
+					func(k uint64) { t.Delete(c, k) }
+			}},
+		{name: "P-ART", strict: true,
+			build: func(rt *pmrt.Runtime, c *pmrt.Ctx, fixed bool) (func(k, v uint64), func(k uint64) (uint64, bool), func(k uint64)) {
+				t := part.New(rt, fixed).(*part.Tree)
+				t.Setup(c)
+				return func(k, v uint64) { t.Put(c, k, v) },
+					func(k uint64) (uint64, bool) { return t.Get(c, k) },
+					func(k uint64) { t.Delete(c, k) }
+			}},
+		{name: "WIPE", strict: true,
+			build: func(rt *pmrt.Runtime, c *pmrt.Ctx, fixed bool) (func(k, v uint64), func(k uint64) (uint64, bool), func(k uint64)) {
+				x := wipe.New(rt, fixed).(*wipe.Index)
+				x.Setup(c)
+				return func(k, v uint64) { x.Put(c, k, v) },
+					func(k uint64) (uint64, bool) { return x.Get(c, k) },
+					func(k uint64) { x.Delete(c, k) }
+			}},
+		{name: "Memcached-pmem", strict: true,
+			build: func(rt *pmrt.Runtime, c *pmrt.Ctx, fixed bool) (func(k, v uint64), func(k uint64) (uint64, bool), func(k uint64)) {
+				cc := memcachedpm.New(rt, fixed).(*memcachedpm.Cache)
+				cc.Setup(c)
+				return func(k, v uint64) { cc.Set(c, k, v) },
+					func(k uint64) (uint64, bool) { return cc.Get(c, k) },
+					func(k uint64) { cc.Delete(c, k) }
+			}},
+		{name: "APEX", strict: true,
+			build: func(rt *pmrt.Runtime, c *pmrt.Ctx, fixed bool) (func(k, v uint64), func(k uint64) (uint64, bool), func(k uint64)) {
+				x := apex.New(rt, fixed).(*apex.Index)
+				x.Setup(c)
+				return func(k, v uint64) { x.Put(c, k, v) },
+					func(k uint64) (uint64, bool) { return x.Search(c, k) },
+					func(k uint64) { x.Erase(c, k) }
+			}},
+	}
+}
+
+// TestModelConformance drives every store through random single-threaded
+// op sequences and checks it against a reference map: any present key
+// returns the last value written; strict stores additionally never lose a
+// live key.
+func TestModelConformance(t *testing.T) {
+	for _, ad := range adapters() {
+		for _, fixed := range []bool{true, false} {
+			ad, fixed := ad, fixed
+			name := ad.name + "/buggy"
+			if fixed {
+				name = ad.name + "/fixed"
+			}
+			t.Run(name, func(t *testing.T) {
+				f := func(seed int64) bool {
+					rng := rand.New(rand.NewSource(seed))
+					rt := pmrt.New(pmrt.Config{Seed: seed, PoolSize: 64 << 20, NoTrace: true})
+					ok := true
+					err := rt.Run(func(c *pmrt.Ctx) {
+						put, get, del := ad.build(rt, c, fixed)
+						ref := map[uint64]uint64{}
+						for i := 0; i < 300 && ok; i++ {
+							k := uint64(rng.Intn(200)) | 1 // several stores reserve key 0
+							switch rng.Intn(4) {
+							case 0, 1:
+								v := rng.Uint64() | 1
+								put(k, v)
+								ref[k] = v
+							case 2:
+								del(k)
+								delete(ref, k)
+							default:
+								v, found := get(k)
+								want, exists := ref[k]
+								if found && (!exists || v != want) {
+									t.Logf("%s: Get(%d) = %d, model says (%d,%v)", ad.name, k, v, want, exists)
+									ok = false
+								}
+								if ad.strict && exists && !found {
+									t.Logf("%s: Get(%d) missed a live key", ad.name, k)
+									ok = false
+								}
+							}
+						}
+						// Final sweep.
+						for k, want := range ref {
+							v, found := get(k)
+							if found && v != want {
+								t.Logf("%s: final Get(%d) = %d, want %d", ad.name, k, v, want)
+								ok = false
+							}
+							if ad.strict && !found {
+								t.Logf("%s: final Get(%d) lost the key", ad.name, k)
+								ok = false
+							}
+						}
+					})
+					if err != nil {
+						t.Logf("%s: run error: %v", ad.name, err)
+						return false
+					}
+					return ok
+				}
+				if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

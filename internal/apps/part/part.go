@@ -1,0 +1,505 @@
+// Package part reimplements P-ART (Lee et al., SOSP'19 RECIPE), the
+// crash-consistent adaptive radix tree of the paper's evaluation: nodes grow
+// through Node4 → Node16 → Node48 → Node256 as children accumulate, writers
+// take a per-tree lock and gets are lock-free (Table 1).
+//
+// The buggy variant carries the two Table 2 races (Durinn-overlapping):
+//
+//	#8: inserting a child publishes the (key byte, child) entry without
+//	    persisting it ((*Tree).addChild) — the paper's N4/N16/N256 insert
+//	    sites — read lock-free by (*Tree).findChild.
+//	#9: removing a child clears the entry without persisting the removal
+//	    ((*Tree).removeChild).
+//
+// The paper notes P-ART "hangs for workloads larger than 1k operations"
+// (§5); the registry reproduces that limit as a documented 1k cap.
+package part
+
+import (
+	"fmt"
+
+	"hawkset/internal/apps"
+	"hawkset/internal/pmem"
+	"hawkset/internal/pmrt"
+	"hawkset/internal/ycsb"
+)
+
+// Node layouts (PM). All nodes share a header; Node4/Node16 store sorted
+// (byte, child) pairs, Node256 indexes children directly.
+//
+//	+0  header uint64: kind (2 bits) | count << 2 (four node kinds)
+//	+8  value  uint64: value held at this node (for exact key ends)
+//	+16 keys   Node4/16: n bytes (padded to 8); Node256: none
+//	+24/+16    children pointers
+const (
+	kind4   = 0
+	kind16  = 1
+	kind48  = 2
+	kind256 = 3
+
+	offHeader = 0
+	offValue  = 8
+	offKeys   = 16 // Node4/16: key bytes (padded to 16); Node48: 256-byte index
+	offKids   = 32
+
+	// Node48: a 256-entry byte index (value = child slot + 1, 0 = absent)
+	// followed by 48 child pointers — the real ART's middle tier.
+	off48Index = 16
+	off48Kids  = off48Index + 256
+
+	node4Size   = offKids + 4*8
+	node16Size  = offKids + 16*8
+	node48Size  = off48Kids + 48*8
+	node256Size = offKids + 256*8
+)
+
+// Tree is the PM adaptive radix tree over 8-byte keys (depth 8, one key
+// byte per level).
+type Tree struct {
+	rt    *pmrt.Runtime
+	meta  uint64 // PM address of the root pointer
+	mu    *pmrt.Mutex
+	fixed bool
+}
+
+// New creates a P-ART instance. fixed repairs races #8 and #9.
+func New(rt *pmrt.Runtime, fixed bool) apps.App {
+	return &Tree{rt: rt, mu: rt.NewMutex("part"), fixed: fixed}
+}
+
+// Name implements apps.App.
+func (t *Tree) Name() string { return "P-ART" }
+
+// Setup allocates the root pointer and an empty Node4 root.
+func (t *Tree) Setup(c *pmrt.Ctx) {
+	t.meta = c.Alloc(8)
+	root := t.newNode(c, kind4)
+	c.Store8(t.meta, root)
+	c.Persist(t.meta, 8)
+}
+
+// Apply implements apps.App.
+func (t *Tree) Apply(c *pmrt.Ctx, op ycsb.Op) {
+	switch op.Kind {
+	case ycsb.OpInsert, ycsb.OpUpdate:
+		t.Put(c, op.Key, op.Value)
+	case ycsb.OpGet:
+		t.Get(c, op.Key)
+	case ycsb.OpDelete:
+		t.Delete(c, op.Key)
+	}
+}
+
+func (t *Tree) newNode(c *pmrt.Ctx, kind int) uint64 {
+	size := uint64(node4Size)
+	switch kind {
+	case kind16:
+		size = node16Size
+	case kind48:
+		size = node48Size
+	case kind256:
+		size = node256Size
+	}
+	n := c.Alloc(size)
+	c.Store8(n+offHeader, uint64(kind))
+	c.Persist(n+offHeader, 8)
+	return n
+}
+
+func header(h uint64) (kind, count int) { return int(h & 3), int(h >> 2) }
+func packHeader(kind, count int) uint64 { return uint64(kind) | uint64(count)<<2 }
+
+// keyByte extracts the radix byte for a level. The tree indexes a mixed
+// image of the key: benchmark keys occupy a small dense range, and without
+// mixing every key would share seven leading zero bytes, collapsing the
+// radix structure into a linked list.
+func keyByte(key uint64, depth int) byte {
+	key *= 0x9e3779b97f4a7c15
+	return byte(key >> (56 - 8*depth))
+}
+
+func capOf(kind int) int {
+	switch kind {
+	case kind4:
+		return 4
+	case kind16:
+		return 16
+	case kind48:
+		return 48
+	default:
+		return 256
+	}
+}
+
+func nodeSizeOf(kind int) uint64 {
+	switch kind {
+	case kind4:
+		return node4Size
+	case kind16:
+		return node16Size
+	case kind48:
+		return node48Size
+	default:
+		return node256Size
+	}
+}
+
+// findChild locates the child for key byte b, lock-free — the load side of
+// races #8 and #9 (the paper's N4/N16/N256 lookup sites).
+func (t *Tree) findChild(c *pmrt.Ctx, n uint64, b byte) uint64 {
+	kind, count := header(c.Load8(n + offHeader))
+	switch kind {
+	case kind256:
+		return c.Load8(n + offKids + uint64(b)*8)
+	case kind48:
+		w := c.Load8(n + off48Index + uint64(b)/8*8)
+		slot := byte(w >> (8 * (uint64(b) % 8)))
+		if slot == 0 {
+			return 0
+		}
+		return c.Load8(n + off48Kids + uint64(slot-1)*8)
+	}
+	// Node4/16: key bytes are packed into two uint64 words.
+	for i := 0; i < count; i++ {
+		w := c.Load8(n + offKeys + uint64(i/8)*8)
+		if byte(w>>(8*(uint(i)%8))) == b {
+			return c.Load8(n + offKids + uint64(i)*8)
+		}
+	}
+	return 0
+}
+
+// Get looks key up lock-free, descending one key byte per level.
+func (t *Tree) Get(c *pmrt.Ctx, key uint64) (uint64, bool) {
+	n := c.Load8(t.meta)
+	for depth := 0; depth < 8; depth++ {
+		if n == 0 {
+			return 0, false
+		}
+		n = t.findChild(c, n, keyByte(key, depth))
+	}
+	if n == 0 {
+		return 0, false
+	}
+	// Leaf level: n is a value box (value at offValue, flag at header).
+	if c.Load8(n+offHeader) == 0 {
+		return 0, false
+	}
+	return c.Load8(n + offValue), true
+}
+
+// Put inserts or updates key under the tree lock.
+func (t *Tree) Put(c *pmrt.Ctx, key, val uint64) {
+	c.Lock(t.mu)
+	defer c.Unlock(t.mu)
+
+	n := c.Load8(t.meta)
+	parent := t.meta
+	parentSlot := t.meta // PM address holding the pointer to n
+	for depth := 0; depth < 8; depth++ {
+		b := keyByte(key, depth)
+		child := t.findChildLocked(c, n, b)
+		if child == 0 {
+			var made uint64
+			if depth == 7 {
+				made = t.newLeafBox(c, val)
+			} else {
+				// Build the remaining path bottom-up, fully persisted while
+				// private, then publish the top with addChild.
+				made = t.buildPath(c, key, val, depth+1)
+			}
+			n = t.addChild(c, parent, parentSlot, n, b, made)
+			return
+		}
+		parent = n
+		parentSlot = 0
+		n = child
+	}
+	// Key exists: update the leaf box in place (persisted; correct),
+	// resurrecting it if a delete had emptied the box.
+	c.Store8(n+offValue, val)
+	c.Store8(n+offHeader, 1)
+	c.Persist(n, 16)
+	_ = parent
+}
+
+// findChildLocked is the writer-side lookup (runs under the tree lock).
+func (t *Tree) findChildLocked(c *pmrt.Ctx, n uint64, b byte) uint64 {
+	kind, count := header(c.Load8(n + offHeader))
+	switch kind {
+	case kind256:
+		return c.Load8(n + offKids + uint64(b)*8)
+	case kind48:
+		w := c.Load8(n + off48Index + uint64(b)/8*8)
+		slot := byte(w >> (8 * (uint64(b) % 8)))
+		if slot == 0 {
+			return 0
+		}
+		return c.Load8(n + off48Kids + uint64(slot-1)*8)
+	}
+	for i := 0; i < count; i++ {
+		w := c.Load8(n + offKeys + uint64(i/8)*8)
+		if byte(w>>(8*(uint(i)%8))) == b {
+			return c.Load8(n + offKids + uint64(i)*8)
+		}
+	}
+	return 0
+}
+
+// newLeafBox allocates a persisted value box.
+func (t *Tree) newLeafBox(c *pmrt.Ctx, val uint64) uint64 {
+	box := c.Alloc(16)
+	c.Store8(box+offHeader, 1)
+	c.Store8(box+offValue, val)
+	c.Persist(box, 16)
+	return box
+}
+
+// buildPath creates the private chain of Node4s for the remaining key bytes
+// down to the value box, persisting everything before publication.
+func (t *Tree) buildPath(c *pmrt.Ctx, key, val uint64, depth int) uint64 {
+	child := t.newLeafBox(c, val)
+	for d := 7; d >= depth; d-- {
+		n := t.newNode(c, kind4)
+		b := keyByte(key, d)
+		c.Store8(n+offKeys, uint64(b))
+		c.Store8(n+offKids, child)
+		c.Store8(n+offHeader, packHeader(kind4, 1))
+		c.Persist(n, node4Size)
+		child = n
+	}
+	return child
+}
+
+// addChild publishes (b → child) in node n, growing the node when full.
+// BUG #8 (Table 2 #8, Durinn-overlapping): the buggy variant publishes the
+// entry without persisting it — the N4.cpp:22/N16.cpp:13/N256.cpp:17 stores.
+// It returns the node that now holds the entry.
+func (t *Tree) addChild(c *pmrt.Ctx, parent, parentSlot, n uint64, b byte, child uint64) uint64 {
+	kind, count := header(c.Load8(n + offHeader))
+	if count == capOf(kind) {
+		n = t.growNode(c, parent, parentSlot, n, kind, count)
+		kind, count = header(c.Load8(n + offHeader))
+	}
+	if kind == kind256 {
+		c.Store8(n+offKids+uint64(b)*8, child)
+		c.Store8(n+offHeader, packHeader(kind256, count+1))
+		if t.fixed {
+			c.Persist(n+offKids+uint64(b)*8, 8)
+			c.Persist(n+offHeader, 8)
+		}
+		return n
+	}
+	if kind == kind48 {
+		c.Store8(n+off48Kids+uint64(count)*8, child)
+		w := c.Load8(n + off48Index + uint64(b)/8*8)
+		w &^= 0xff << (8 * (uint64(b) % 8))
+		w |= uint64(count+1) << (8 * (uint64(b) % 8))
+		c.Store8(n+off48Index+uint64(b)/8*8, w)
+		c.Store8(n+offHeader, packHeader(kind48, count+1))
+		if t.fixed {
+			c.Persist(n+off48Kids+uint64(count)*8, 8)
+			c.Persist(n+off48Index+uint64(b)/8*8, 8)
+			c.Persist(n+offHeader, 8)
+		}
+		return n
+	}
+	w := c.Load8(n + offKeys + uint64(count/8)*8)
+	w &^= 0xff << (8 * (uint(count) % 8))
+	w |= uint64(b) << (8 * (uint(count) % 8))
+	c.Store8(n+offKeys+uint64(count/8)*8, w)
+	c.Store8(n+offKids+uint64(count)*8, child)
+	c.Store8(n+offHeader, packHeader(kind, count+1))
+	if t.fixed {
+		c.Persist(n+offKeys+uint64(count/8)*8, 8)
+		c.Persist(n+offKids+uint64(count)*8, 8)
+		c.Persist(n+offHeader, 8)
+	}
+	return n
+}
+
+// growNode migrates a full node to the next kind (4→16→256), persists the
+// private copy, and publishes it through the parent slot (persisted —
+// growth is not one of the seeded defects).
+func (t *Tree) growNode(c *pmrt.Ctx, parent, parentSlot, n uint64, kind, count int) uint64 {
+	nk := kind16
+	switch kind {
+	case kind16:
+		nk = kind48
+	case kind48:
+		nk = kind256
+	}
+	nn := t.newNode(c, nk)
+	// Enumerate (byte, child) pairs of the old node and install them in the
+	// new layout.
+	insert := func(i int, b byte, ch uint64) {
+		switch nk {
+		case kind256:
+			c.Store8(nn+offKids+uint64(b)*8, ch)
+		case kind48:
+			c.Store8(nn+off48Kids+uint64(i)*8, ch)
+			w := c.Load8(nn + off48Index + uint64(b)/8*8)
+			w &^= 0xff << (8 * (uint64(b) % 8))
+			w |= uint64(i+1) << (8 * (uint64(b) % 8))
+			c.Store8(nn+off48Index+uint64(b)/8*8, w)
+		default:
+			kw := c.Load8(nn + offKeys + uint64(i/8)*8)
+			kw &^= 0xff << (8 * (uint(i) % 8))
+			kw |= uint64(b) << (8 * (uint(i) % 8))
+			c.Store8(nn+offKeys+uint64(i/8)*8, kw)
+			c.Store8(nn+offKids+uint64(i)*8, ch)
+		}
+	}
+	if kind == kind48 {
+		slot := 0
+		for bi := 0; bi < 256; bi++ {
+			w := c.Load8(n + off48Index + uint64(bi)/8*8)
+			sl := byte(w >> (8 * (uint64(bi) % 8)))
+			if sl == 0 {
+				continue
+			}
+			insert(slot, byte(bi), c.Load8(n+off48Kids+uint64(sl-1)*8))
+			slot++
+		}
+	} else {
+		for i := 0; i < count; i++ {
+			w := c.Load8(n + offKeys + uint64(i/8)*8)
+			b := byte(w >> (8 * (uint(i) % 8)))
+			insert(i, b, c.Load8(n+offKids+uint64(i)*8))
+		}
+	}
+	c.Store8(nn+offHeader, packHeader(nk, count))
+	c.Persist(nn, nodeSizeOf(nk))
+	// Publish through the parent pointer slot.
+	if parentSlot != 0 {
+		c.Store8(parentSlot, nn)
+		c.Persist(parentSlot, 8)
+	} else {
+		// Parent is a node: find and replace the slot pointing at n.
+		pk, pc := header(c.Load8(parent + offHeader))
+		if pk == kind256 {
+			for i := 0; i < 256; i++ {
+				if c.Load8(parent+offKids+uint64(i)*8) == n {
+					c.Store8(parent+offKids+uint64(i)*8, nn)
+					c.Persist(parent+offKids+uint64(i)*8, 8)
+					break
+				}
+			}
+		} else {
+			for i := 0; i < pc; i++ {
+				if c.Load8(parent+offKids+uint64(i)*8) == n {
+					c.Store8(parent+offKids+uint64(i)*8, nn)
+					c.Persist(parent+offKids+uint64(i)*8, 8)
+					break
+				}
+			}
+		}
+	}
+	return nn
+}
+
+// Delete marks key's value box empty under the tree lock. BUG #9 (Table 2
+// #9, Durinn-overlapping): the buggy variant clears the box without
+// persisting the removal ((*Tree).removeChild); a lock-free get already
+// misses the key while a crash resurrects it.
+func (t *Tree) Delete(c *pmrt.Ctx, key uint64) {
+	c.Lock(t.mu)
+	defer c.Unlock(t.mu)
+
+	n := c.Load8(t.meta)
+	for depth := 0; depth < 8; depth++ {
+		if n == 0 {
+			return
+		}
+		n = t.findChildLocked(c, n, keyByte(key, depth))
+	}
+	if n == 0 {
+		return
+	}
+	t.removeChild(c, n)
+}
+
+// removeChild clears a value box (the N4.cpp:67/N16.cpp:76 removal stores).
+func (t *Tree) removeChild(c *pmrt.Ctx, box uint64) {
+	c.Store8(box+offHeader, 0)
+	if t.fixed {
+		c.Persist(box+offHeader, 8)
+	}
+}
+
+// ValidateCrash compares live leaf boxes reachable in the volatile tree
+// with those in the persistent image: bugs #8/#9 leave inserts unreachable
+// and deletions resurrected after a crash.
+func (t *Tree) ValidateCrash(p *pmem.Pool) []string {
+	var out []string
+	vol := t.countLive(p.Load8, p.Load8(t.meta), 0)
+	per := t.countLive(p.ReadPersistent8, p.ReadPersistent8(t.meta), 0)
+	if per < vol {
+		out = append(out, fmt.Sprintf(
+			"silent data loss: %d of %d live entries unreachable in the crash image (bug #8)", vol-per, vol))
+	}
+	if per > vol {
+		out = append(out, fmt.Sprintf(
+			"resurrected deletions: crash image holds %d live entries, volatile tree %d (bug #9)", per, vol))
+	}
+	return out
+}
+
+// countLive walks nodes through the given view counting value boxes whose
+// live flag is set.
+func (t *Tree) countLive(read func(uint64) uint64, n uint64, depth int) int {
+	if n == 0 || depth > 8 {
+		return 0
+	}
+	if depth == 8 { // value box
+		if read(n+offHeader) == 1 {
+			return 1
+		}
+		return 0
+	}
+	kind, count := header(read(n + offHeader))
+	total := 0
+	switch kind {
+	case kind256:
+		for b := 0; b < 256; b++ {
+			total += t.countLive(read, read(n+offKids+uint64(b)*8), depth+1)
+		}
+	case kind48:
+		for sl := 0; sl < 48 && sl < count; sl++ {
+			total += t.countLive(read, read(n+off48Kids+uint64(sl)*8), depth+1)
+		}
+	default:
+		for i := 0; i < count && i < capOf(kind); i++ {
+			total += t.countLive(read, read(n+offKids+uint64(i)*8), depth+1)
+		}
+	}
+	return total
+}
+
+func init() {
+	apps.Register(&apps.Entry{
+		Name:    "P-ART",
+		Factory: New,
+		Bugs: []apps.BugSpec{
+			{
+				ID: 8, Durinn: true,
+				StoreFunc: "part.(*Tree).addChild", LoadFunc: "part.(*Tree).findChild",
+				Description: "load unpersisted value",
+			},
+			{
+				ID: 9, Durinn: true,
+				StoreFunc: "part.(*Tree).removeChild", LoadFunc: "part.(*Tree).Get",
+				Description: "load unpersisted value",
+			},
+		},
+		Benign: apps.Pairs(
+			[]string{
+				"part.(*Tree).addChild", "part.(*Tree).growNode",
+				"part.(*Tree).Put", "part.(*Tree).removeChild",
+			},
+			[]string{"part.(*Tree).findChild", "part.(*Tree).Get"},
+		),
+		Spec:   ycsb.DefaultSpec,
+		MaxOps: 1000,
+	})
+}

@@ -1,0 +1,343 @@
+// Package pclht reimplements P-CLHT (Lee et al., SOSP'19 RECIPE), the
+// cache-line hash table of the paper's evaluation: one bucket per cache
+// line, CAS-based per-bucket locks whose lock words live in PM (the pattern
+// that required wrapper functions and a configuration file in §5.5), a
+// global resize lock for rehashing, and lock-free gets.
+//
+// The buggy variant carries Table 2 race #4 (known, reported by PMRace): a
+// rehash allocates a new table and swaps the root pointer without persisting
+// it. A thread that inserts into the new table before the pointer persists
+// loses its insert if the system crashes before the rehash completes.
+package pclht
+
+import (
+	"fmt"
+
+	"hawkset/internal/apps"
+	"hawkset/internal/pmem"
+	"hawkset/internal/pmrt"
+	"hawkset/internal/ycsb"
+)
+
+// Bucket layout (PM), exactly one cache line: 3 key/value pairs plus a
+// pointer to an overflow bucket.
+//
+//	+0   keys   3 × uint64 (0 = empty)
+//	+24  vals   3 × uint64
+//	+48  next   uint64 overflow-bucket pointer
+//	+56  pad
+const (
+	entriesPerBucket = 3
+	offKeys          = 0
+	offVals          = 24
+	offNext          = 48
+	bucketSize       = 64
+)
+
+// table is one hash-table generation: a power-of-two bucket array.
+type table struct {
+	base     uint64
+	nBuckets uint64
+	locks    []*pmrt.SpinLock
+}
+
+// Table is the resizable PM hash table.
+type Table struct {
+	rt     *pmrt.Runtime
+	meta   uint64 // PM address of the root table pointer
+	resize *pmrt.RWMutex
+	fixed  bool
+
+	// cur is the volatile view of the current generation (the PM root
+	// pointer is authoritative for crash recovery; the volatile mirror keys
+	// the lock arrays).
+	gens map[uint64]*table
+	// elems counts entries to trigger rehashing.
+	elems int
+}
+
+// New creates a P-CLHT instance. fixed repairs race #4.
+func New(rt *pmrt.Runtime, fixed bool) apps.App {
+	return &Table{rt: rt, resize: rt.NewRWMutex("clht-resize"), fixed: fixed, gens: map[uint64]*table{}}
+}
+
+// Name implements apps.App.
+func (t *Table) Name() string { return "P-CLHT" }
+
+// Setup allocates the root pointer and the first generation.
+func (t *Table) Setup(c *pmrt.Ctx) {
+	t.meta = c.Alloc(8)
+	g := t.newTable(c, 256)
+	c.Store8(t.meta, g.base)
+	c.Persist(t.meta, 8)
+}
+
+func (t *Table) newTable(c *pmrt.Ctx, n uint64) *table {
+	g := &table{base: c.Alloc(n * bucketSize), nBuckets: n}
+	g.locks = make([]*pmrt.SpinLock, n)
+	for i := range g.locks {
+		g.locks[i] = t.rt.NewSpinLock(c, "clht-bucket")
+	}
+	t.gens[g.base] = g
+	c.Persist(g.base, 8)
+	return g
+}
+
+// Apply implements apps.App.
+func (t *Table) Apply(c *pmrt.Ctx, op ycsb.Op) {
+	switch op.Kind {
+	case ycsb.OpInsert:
+		t.Put(c, op.Key, op.Value)
+	case ycsb.OpUpdate:
+		t.Put(c, op.Key, op.Value)
+	case ycsb.OpGet:
+		t.Get(c, op.Key)
+	case ycsb.OpDelete:
+		t.Delete(c, op.Key)
+	}
+}
+
+func hash(key uint64) uint64 {
+	key ^= key >> 33
+	key *= 0xc2b2ae3d27d4eb4f
+	key ^= key >> 29
+	return key
+}
+
+// key 0 is reserved as the empty marker; workloads remap it.
+func norm(key uint64) uint64 {
+	if key == 0 {
+		return 1<<63 + 7
+	}
+	return key
+}
+
+func keyAddr(b uint64, i int) uint64 { return b + offKeys + uint64(i)*8 }
+func valAddr(b uint64, i int) uint64 { return b + offVals + uint64(i)*8 }
+
+// loadRoot reads the root table pointer lock-free — the load side of bug #4.
+func (t *Table) loadRoot(c *pmrt.Ctx) *table {
+	base := c.Load8(t.meta)
+	return t.gens[base]
+}
+
+// Get walks the bucket chain lock-free.
+func (t *Table) Get(c *pmrt.Ctx, key uint64) (uint64, bool) {
+	key = norm(key)
+	g := t.loadRoot(c)
+	b := g.base + (hash(key)%g.nBuckets)*bucketSize
+	for b != 0 {
+		for i := 0; i < entriesPerBucket; i++ {
+			if c.Load8(keyAddr(b, i)) == key {
+				return c.Load8(valAddr(b, i)), true
+			}
+		}
+		b = c.Load8(b + offNext)
+	}
+	return 0, false
+}
+
+// Put inserts or updates under the bucket's CAS lock (shared-mode resize
+// lock keeps rehashing exclusive).
+func (t *Table) Put(c *pmrt.Ctx, key, val uint64) {
+	key = norm(key)
+	c.RLock(t.resize)
+	g := t.loadRoot(c)
+	idx := hash(key) % g.nBuckets
+	lk := g.locks[idx]
+	c.SpinLock(lk)
+	b := g.base + idx*bucketSize
+	var freeB uint64
+	freeI := -1
+	for {
+		for i := 0; i < entriesPerBucket; i++ {
+			k := c.Load8(keyAddr(b, i))
+			if k == key {
+				c.Store8(valAddr(b, i), val)
+				c.Persist(valAddr(b, i), 8)
+				c.SpinUnlock(lk)
+				c.RUnlock(t.resize)
+				return
+			}
+			if k == 0 && freeI < 0 {
+				freeB, freeI = b, i
+			}
+		}
+		next := c.Load8(b + offNext)
+		if next == 0 {
+			break
+		}
+		b = next
+	}
+	if freeI < 0 {
+		// Chain full: append an overflow bucket (P-CLHT's insert-on-full),
+		// fully persisted before linking.
+		nb := c.Alloc(bucketSize)
+		c.Store8(keyAddr(nb, 0), key)
+		c.Store8(valAddr(nb, 0), val)
+		c.Persist(nb, bucketSize)
+		c.Store8(b+offNext, nb)
+		c.Persist(b+offNext, 8)
+	} else {
+		// CLHT ordering: value first, then the key publishes the entry.
+		c.Store8(valAddr(freeB, freeI), val)
+		c.Persist(valAddr(freeB, freeI), 8)
+		c.Store8(keyAddr(freeB, freeI), key)
+		c.Persist(keyAddr(freeB, freeI), 8)
+	}
+	t.elems++
+	needRehash := t.elems > int(g.nBuckets)*entriesPerBucket*3/4
+	c.SpinUnlock(lk)
+	c.RUnlock(t.resize)
+	if needRehash {
+		t.rehash(c)
+	}
+}
+
+// rehash doubles the table under the exclusive resize lock and publishes the
+// new generation by swapping the root pointer. BUG #4 (Table 2 #4, known):
+// the buggy variant does not persist the root pointer before other threads
+// start inserting into the new table; a crash makes the old root
+// authoritative again and every post-rehash insert is lost.
+func (t *Table) rehash(c *pmrt.Ctx) {
+	c.WLock(t.resize)
+	g := t.loadRoot(c)
+	if t.elems <= int(g.nBuckets)*entriesPerBucket*3/4 {
+		c.WUnlock(t.resize) // another thread already rehashed
+		return
+	}
+	ng := t.newTable(c, g.nBuckets*2)
+	for bi := uint64(0); bi < g.nBuckets; bi++ {
+		b := g.base + bi*bucketSize
+		for b != 0 {
+			for i := 0; i < entriesPerBucket; i++ {
+				k := c.Load8(keyAddr(b, i))
+				if k == 0 {
+					continue
+				}
+				v := c.Load8(valAddr(b, i))
+				nb := ng.base + (hash(k)%ng.nBuckets)*bucketSize
+				t.rehashInsert(c, ng, nb, k, v)
+			}
+			b = c.Load8(b + offNext)
+		}
+	}
+	c.Store8(t.meta, ng.base)
+	if t.fixed {
+		c.Persist(t.meta, 8)
+	}
+	c.WUnlock(t.resize)
+}
+
+// rehashInsert places one migrated entry into the (still private) new
+// generation, appending overflow buckets as needed.
+func (t *Table) rehashInsert(c *pmrt.Ctx, ng *table, b uint64, key, val uint64) {
+	for {
+		for i := 0; i < entriesPerBucket; i++ {
+			if c.Load8(keyAddr(b, i)) == 0 {
+				c.Store8(valAddr(b, i), val)
+				c.Store8(keyAddr(b, i), key)
+				c.Persist(b, bucketSize)
+				return
+			}
+		}
+		next := c.Load8(b + offNext)
+		if next == 0 {
+			nb := c.Alloc(bucketSize)
+			c.Store8(keyAddr(nb, 0), key)
+			c.Store8(valAddr(nb, 0), val)
+			c.Persist(nb, bucketSize)
+			c.Store8(b+offNext, nb)
+			c.Persist(b+offNext, 8)
+			return
+		}
+		b = next
+	}
+}
+
+// Delete clears the key's slot under the bucket's CAS lock.
+func (t *Table) Delete(c *pmrt.Ctx, key uint64) {
+	key = norm(key)
+	c.RLock(t.resize)
+	g := t.loadRoot(c)
+	idx := hash(key) % g.nBuckets
+	lk := g.locks[idx]
+	c.SpinLock(lk)
+	b := g.base + idx*bucketSize
+	for b != 0 {
+		for i := 0; i < entriesPerBucket; i++ {
+			if c.Load8(keyAddr(b, i)) == key {
+				c.Store8(keyAddr(b, i), 0)
+				c.Persist(keyAddr(b, i), 8)
+				t.elems--
+				c.SpinUnlock(lk)
+				c.RUnlock(t.resize)
+				return
+			}
+		}
+		b = c.Load8(b + offNext)
+	}
+	c.SpinUnlock(lk)
+	c.RUnlock(t.resize)
+}
+
+// ValidateCrash compares the entries reachable through the persisted root
+// pointer with those reachable through the volatile root: bug #4's
+// unpersisted root swap makes the crash image resolve to the pre-rehash
+// generation, silently losing every post-rehash insert.
+func (t *Table) ValidateCrash(p *pmem.Pool) []string {
+	var out []string
+	volatileKeys := t.countKeys(p, p.Load8, p.Load8(t.meta))
+	persistKeys := t.countKeys(p, p.ReadPersistent8, p.ReadPersistent8(t.meta))
+	if persistKeys < volatileKeys {
+		out = append(out, fmt.Sprintf(
+			"silent data loss: %d of %d entries unreachable in the crash image (bug #4)",
+			volatileKeys-persistKeys, volatileKeys))
+	}
+	return out
+}
+
+// countKeys walks a generation through the given memory view.
+func (t *Table) countKeys(p *pmem.Pool, read func(uint64) uint64, base uint64) int {
+	g := t.gens[base]
+	if g == nil {
+		return 0
+	}
+	n := 0
+	for bi := uint64(0); bi < g.nBuckets; bi++ {
+		b := g.base + bi*bucketSize
+		hops := 0
+		for b != 0 && hops < 1<<10 {
+			for i := 0; i < entriesPerBucket; i++ {
+				if read(keyAddr(b, i)) != 0 {
+					n++
+				}
+			}
+			b = read(b + offNext)
+			hops++
+		}
+	}
+	return n
+}
+
+func init() {
+	apps.Register(&apps.Entry{
+		Name:    "P-CLHT",
+		Factory: New,
+		Bugs: []apps.BugSpec{
+			{
+				ID: 4, New: false,
+				StoreFunc: "pclht.(*Table).rehash", LoadFunc: "pclht.(*Table).loadRoot",
+				Description: "load unpersisted pointer",
+			},
+		},
+		Benign: apps.Pairs(
+			[]string{
+				"pclht.(*Table).Put", "pclht.(*Table).Delete",
+				"pclht.(*Table).rehash", "pclht.(*Table).rehashInsert",
+			},
+			[]string{"pclht.(*Table).Get", "pclht.(*Table).loadRoot"},
+		),
+		Spec: ycsb.DefaultSpec,
+	})
+}

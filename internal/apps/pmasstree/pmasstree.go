@@ -1,0 +1,371 @@
+// Package pmasstree reimplements P-Masstree (Lee et al., SOSP'19 RECIPE), a
+// trie-like concatenation of B+-tree nodes backed by PM: writers (put,
+// delete) take per-tree locks while gets are lock-free (Table 1).
+//
+// The buggy variant carries the three Table 2 races the paper attributes to
+// the operations Durinn also flagged:
+//
+//	#5: a put into a leaf publishes the value without persisting it
+//	    ((*Tree).putValue) — a lock-free get reads the unpersisted value.
+//	#6: the leaf-split path copies entries into the new leaf and publishes
+//	    them unpersisted ((*Tree).splitCopy).
+//	#7: a delete clears the key slot without persisting the removal
+//	    ((*Tree).removeEntry) — a lock-free get misses a deleted key whose
+//	    deletion can vanish in a crash.
+package pmasstree
+
+import (
+	"fmt"
+
+	"hawkset/internal/apps"
+	"hawkset/internal/pmem"
+	"hawkset/internal/pmrt"
+	"hawkset/internal/ycsb"
+)
+
+// The trie layer: a fixed 256-way radix directory on the key's top byte,
+// each slot holding a chain of sorted PM leaves (the B+-tree layer collapsed
+// to its leaf level, which is where all three races live).
+//
+// Leaf layout (PM):
+//
+//	+0   count uint64
+//	+8   next  uint64
+//	+16  16 × (key uint64, val uint64)
+const (
+	radix      = 64
+	leafCap    = 8
+	offCount   = 0
+	offNext    = 8
+	offEntries = 16
+	entrySize  = 16
+	leafSize   = offEntries + leafCap*entrySize
+)
+
+// Tree is the PM masstree.
+type Tree struct {
+	rt    *pmrt.Runtime
+	dir   uint64 // PM address of the radix directory (256 pointers)
+	locks []*pmrt.Mutex
+	fixed bool
+}
+
+// New creates a P-Masstree instance. fixed repairs races #5–#7.
+func New(rt *pmrt.Runtime, fixed bool) apps.App {
+	t := &Tree{rt: rt, fixed: fixed}
+	t.locks = make([]*pmrt.Mutex, radix)
+	for i := range t.locks {
+		t.locks[i] = rt.NewMutex("masstree-slot")
+	}
+	return t
+}
+
+// Attach binds a tree handle to an existing persistent image (post-crash
+// recovery): dir is the directory address the pre-crash instance allocated.
+func Attach(rt *pmrt.Runtime, dir uint64, fixed bool) *Tree {
+	t := &Tree{rt: rt, dir: dir, fixed: fixed}
+	t.locks = make([]*pmrt.Mutex, radix)
+	for i := range t.locks {
+		t.locks[i] = rt.NewMutex("masstree-slot")
+	}
+	return t
+}
+
+// Dir returns the PM address of the radix directory (for recovery).
+func (t *Tree) Dir() uint64 { return t.dir }
+
+// Name implements apps.App.
+func (t *Tree) Name() string { return "P-Masstree" }
+
+// Setup allocates the directory.
+func (t *Tree) Setup(c *pmrt.Ctx) {
+	t.dir = c.Alloc(radix * 8)
+	c.Persist(t.dir, 8)
+}
+
+// Apply implements apps.App.
+func (t *Tree) Apply(c *pmrt.Ctx, op ycsb.Op) {
+	switch op.Kind {
+	case ycsb.OpInsert, ycsb.OpUpdate:
+		// Inserts and updates are the same operation (§5, Workloads).
+		t.Put(c, op.Key, op.Value)
+	case ycsb.OpGet:
+		t.Get(c, op.Key)
+	case ycsb.OpScan:
+		n := int(op.Len)
+		if n == 0 {
+			n = 16
+		}
+		t.Scan(c, op.Key, n)
+	case ycsb.OpDelete:
+		t.Delete(c, op.Key)
+	}
+}
+
+// Scan walks one directory slot's sorted leaf chain lock-free, returning up
+// to n pairs with keys >= start (masstree's scans are per-trie-node range
+// walks; the hash directory bounds ours to one slot's chain).
+func (t *Tree) Scan(c *pmrt.Ctx, start uint64, n int) [][2]uint64 {
+	leaf := c.Load8(t.slotAddr(slotOf(start)))
+	var out [][2]uint64
+	for leaf != 0 && len(out) < n {
+		count := int(c.Load8(leaf + offCount))
+		for i := 0; i < count && len(out) < n; i++ {
+			k := c.Load8(keyAddr(leaf, i))
+			if k < start {
+				continue
+			}
+			out = append(out, [2]uint64{k, c.Load8(valAddr(leaf, i))})
+		}
+		leaf = c.Load8(leaf + offNext)
+	}
+	return out
+}
+
+// slotOf picks the directory slot from a mix of the key: masstree's trie
+// layer consumes key bytes, but benchmark keys occupy a small dense range,
+// so the directory hashes them first (a hash-trie, as e.g. CLHT-trie
+// variants do).
+func slotOf(key uint64) uint64 {
+	key *= 0x9e3779b97f4a7c15
+	return key >> 56 % radix
+}
+func keyAddr(leaf uint64, i int) uint64  { return leaf + offEntries + uint64(i)*entrySize }
+func valAddr(leaf uint64, i int) uint64  { return keyAddr(leaf, i) + 8 }
+func (t *Tree) slotAddr(s uint64) uint64 { return t.dir + s*8 }
+
+func (t *Tree) newLeaf(c *pmrt.Ctx) uint64 {
+	l := c.Alloc(leafSize)
+	c.Store8(l+offCount, 0)
+	c.Store8(l+offNext, 0)
+	c.Persist(l, 16)
+	return l
+}
+
+// Get searches lock-free.
+func (t *Tree) Get(c *pmrt.Ctx, key uint64) (uint64, bool) {
+	leaf := c.Load8(t.slotAddr(slotOf(key)))
+	for leaf != 0 {
+		count := int(c.Load8(leaf + offCount))
+		for i := 0; i < count; i++ {
+			k := c.Load8(keyAddr(leaf, i))
+			if k == key {
+				return c.Load8(valAddr(leaf, i)), true
+			}
+			if k > key {
+				return 0, false
+			}
+		}
+		leaf = c.Load8(leaf + offNext)
+	}
+	return 0, false
+}
+
+// Put inserts or updates key under the slot lock.
+func (t *Tree) Put(c *pmrt.Ctx, key, val uint64) {
+	s := slotOf(key)
+	c.Lock(t.locks[s])
+	defer c.Unlock(t.locks[s])
+
+	head := c.Load8(t.slotAddr(s))
+	if head == 0 {
+		leaf := t.newLeaf(c)
+		t.putValue(c, leaf, 0, key, val)
+		c.Store8(leaf+offCount, 1)
+		c.Persist(leaf+offCount, 8)
+		c.Store8(t.slotAddr(s), leaf)
+		c.Persist(t.slotAddr(s), 8)
+		return
+	}
+	leaf := head
+	for {
+		count := int(c.Load8(leaf + offCount))
+		last := uint64(0)
+		if count > 0 {
+			last = c.Load8(keyAddr(leaf, count-1))
+		}
+		next := c.Load8(leaf + offNext)
+		// In-place update?
+		for i := 0; i < count; i++ {
+			if c.Load8(keyAddr(leaf, i)) == key {
+				t.putValue(c, leaf, i, key, val)
+				return
+			}
+		}
+		if key < last || next == 0 {
+			if count == leafCap {
+				leaf, count = t.splitLeaf(c, leaf, key)
+				continue
+			}
+			pos := count
+			for i := 0; i < count; i++ {
+				if key < c.Load8(keyAddr(leaf, i)) {
+					pos = i
+					break
+				}
+			}
+			for i := count; i > pos; i-- {
+				k := c.Load8(keyAddr(leaf, i-1))
+				v := c.Load8(valAddr(leaf, i-1))
+				c.Store8(keyAddr(leaf, i), k)
+				c.Store8(valAddr(leaf, i), v)
+				c.Persist(keyAddr(leaf, i), entrySize)
+			}
+			t.putValue(c, leaf, pos, key, val)
+			c.Store8(leaf+offCount, uint64(count+1))
+			c.Persist(leaf+offCount, 8)
+			return
+		}
+		leaf = next
+	}
+}
+
+// putValue writes one entry. BUG #5 (Table 2 #5, Durinn-overlapping): the
+// buggy variant publishes the entry without persisting it; lock-free gets
+// read the unpersisted value.
+func (t *Tree) putValue(c *pmrt.Ctx, leaf uint64, i int, key, val uint64) {
+	c.Store8(keyAddr(leaf, i), key)
+	c.Store8(valAddr(leaf, i), val)
+	if t.fixed {
+		c.Persist(keyAddr(leaf, i), entrySize)
+	}
+}
+
+// splitLeaf moves the upper half of a full leaf into a fresh sibling and
+// returns the leaf that should receive key.
+func (t *Tree) splitLeaf(c *pmrt.Ctx, leaf uint64, key uint64) (uint64, int) {
+	sib := t.newLeaf(c)
+	half := leafCap / 2
+	t.splitCopy(c, leaf, sib, half)
+	c.Store8(sib+offNext, c.Load8(leaf+offNext))
+	c.Store8(sib+offCount, uint64(leafCap-half))
+	c.Persist(sib+offCount, 16)
+	c.Store8(leaf+offNext, sib)
+	c.Store8(leaf+offCount, uint64(half))
+	c.Persist(leaf, 16)
+	if key >= c.Load8(keyAddr(sib, 0)) {
+		return sib, leafCap - half
+	}
+	return leaf, half
+}
+
+// splitCopy copies the upper half of a splitting leaf into the sibling.
+// BUG #6 (Table 2 #6, Durinn-overlapping): the buggy variant skips the
+// persist of the copied entries; once the sibling is linked, lock-free gets
+// traverse to unpersisted data.
+func (t *Tree) splitCopy(c *pmrt.Ctx, leaf, sib uint64, half int) {
+	for i := half; i < leafCap; i++ {
+		k := c.Load8(keyAddr(leaf, i))
+		v := c.Load8(valAddr(leaf, i))
+		c.Store8(keyAddr(sib, i-half), k)
+		c.Store8(valAddr(sib, i-half), v)
+	}
+	if t.fixed {
+		c.Persist(keyAddr(sib, 0), uint64(leafCap-half)*entrySize)
+	}
+}
+
+// Delete removes key under the slot lock.
+func (t *Tree) Delete(c *pmrt.Ctx, key uint64) {
+	s := slotOf(key)
+	c.Lock(t.locks[s])
+	defer c.Unlock(t.locks[s])
+
+	leaf := c.Load8(t.slotAddr(s))
+	for leaf != 0 {
+		count := int(c.Load8(leaf + offCount))
+		for i := 0; i < count; i++ {
+			if c.Load8(keyAddr(leaf, i)) == key {
+				t.removeEntry(c, leaf, i, count)
+				return
+			}
+		}
+		leaf = c.Load8(leaf + offNext)
+	}
+}
+
+// removeEntry compacts the leaf over the removed slot. BUG #7 (Table 2 #7,
+// Durinn-overlapping): the buggy variant does not persist the removal, so a
+// concurrent lock-free get already misses the key while a crash resurrects
+// it ("unpersisted removal").
+func (t *Tree) removeEntry(c *pmrt.Ctx, leaf uint64, i, count int) {
+	for j := i; j < count-1; j++ {
+		k := c.Load8(keyAddr(leaf, j+1))
+		v := c.Load8(valAddr(leaf, j+1))
+		c.Store8(keyAddr(leaf, j), k)
+		c.Store8(valAddr(leaf, j), v)
+	}
+	c.Store8(leaf+offCount, uint64(count-1))
+	if t.fixed {
+		c.Persist(keyAddr(leaf, 0), uint64(count)*entrySize)
+		c.Persist(leaf+offCount, 8)
+	}
+}
+
+// ValidateCrash walks every persisted leaf chain: a persisted count
+// admitting an empty key slot is the torn state bugs #5/#6 leave behind, and
+// keys out of sorted order betray a torn shift.
+func (t *Tree) ValidateCrash(p *pmem.Pool) []string {
+	var out []string
+	for s := uint64(0); s < radix; s++ {
+		leaf := p.ReadPersistent8(t.slotAddr(s))
+		hops := 0
+		for leaf != 0 && hops < 1<<12 {
+			count := int(p.ReadPersistent8(leaf + offCount))
+			if count > leafCap {
+				out = append(out, fmt.Sprintf("leaf %#x: persisted count %d exceeds capacity", leaf, count))
+				break
+			}
+			prev := uint64(0)
+			for i := 0; i < count; i++ {
+				k := p.ReadPersistent8(keyAddr(leaf, i))
+				if k == 0 {
+					out = append(out, fmt.Sprintf(
+						"leaf %#x entry %d: count persisted but key slot empty (torn put, bugs #5/#6)", leaf, i))
+					continue
+				}
+				if k <= prev { // keys are unique: equality means a torn shift duplicated a slot
+					out = append(out, fmt.Sprintf(
+						"leaf %#x entry %d: persisted keys out of order (%d after %d)", leaf, i, k, prev))
+				}
+				prev = k
+			}
+			leaf = p.ReadPersistent8(leaf + offNext)
+			hops++
+		}
+	}
+	return out
+}
+
+func init() {
+	apps.Register(&apps.Entry{
+		Name:    "P-Masstree",
+		Factory: New,
+		Bugs: []apps.BugSpec{
+			{
+				ID: 5, Durinn: true,
+				StoreFunc: "pmasstree.(*Tree).putValue", LoadFunc: "pmasstree.(*Tree).Get",
+				Description: "load unpersisted value",
+			},
+			{
+				ID: 6, Durinn: true,
+				StoreFunc: "pmasstree.(*Tree).splitCopy", LoadFunc: "pmasstree.(*Tree).Get",
+				Description: "load unpersisted value",
+			},
+			{
+				ID: 7, Durinn: true,
+				StoreFunc: "pmasstree.(*Tree).removeEntry", LoadFunc: "pmasstree.(*Tree).Get",
+				Description: "unpersisted removal",
+			},
+		},
+		Benign: apps.Pairs(
+			[]string{
+				"pmasstree.(*Tree).Put", "pmasstree.(*Tree).putValue",
+				"pmasstree.(*Tree).splitLeaf", "pmasstree.(*Tree).splitCopy",
+				"pmasstree.(*Tree).removeEntry", "pmasstree.(*Tree).Delete",
+			},
+			[]string{"pmasstree.(*Tree).Get"},
+		),
+		Spec: ycsb.DefaultSpec,
+	})
+}

@@ -1,0 +1,231 @@
+// Package turbohash reimplements TurboHash (Zhao et al., SYSTOR'23), the
+// PM hash table of the paper's evaluation: fixed-size multi-cell buckets
+// with bounded linear probing, per-bucket locks for writers (the custom
+// concurrency primitives that required a configuration file in §5.5) and
+// lock-free reads.
+//
+// The buggy variant carries Table 2 race #3 (new): an insertion writes the
+// cell and the bucket's metadata bitmap, then flushes only the bucket's
+// first cache line. Cells landing in the bucket's second cache line are
+// never persisted. The bug only manifests once buckets fill past the first
+// line — which is why the paper observed it only in the largest workload
+// (§5.1).
+package turbohash
+
+import (
+	"fmt"
+
+	"hawkset/internal/apps"
+	"hawkset/internal/pmem"
+	"hawkset/internal/pmrt"
+	"hawkset/internal/ycsb"
+)
+
+// Bucket layout (PM), exactly two cache lines:
+//
+//	+0   meta  uint64: occupancy bitmap over the 7 cells
+//	+8   pad
+//	+16  cells 7 × (key uint64, val uint64)
+//
+// Cells 0–2 share the metadata's cache line; cells 3–6 live in the second
+// line — the ones race #3 loses.
+const (
+	cellsPerBucket = 7
+	offMeta        = 0
+	offCells       = 16
+	cellSize       = 16
+	bucketSize     = offCells + cellsPerBucket*cellSize // 128 = 2 lines
+	nBuckets       = 8192
+	maxProbe       = 16
+)
+
+// Table is the PM hash table.
+type Table struct {
+	rt    *pmrt.Runtime
+	locks []*pmrt.Mutex // per-bucket writer locks
+	base  uint64        // PM address of the bucket array
+	fixed bool
+}
+
+// New creates a TurboHash instance. fixed repairs race #3.
+func New(rt *pmrt.Runtime, fixed bool) apps.App {
+	t := &Table{rt: rt, fixed: fixed}
+	t.locks = make([]*pmrt.Mutex, nBuckets)
+	for i := range t.locks {
+		t.locks[i] = rt.NewMutex("bucket")
+	}
+	return t
+}
+
+// Name implements apps.App.
+func (t *Table) Name() string { return "TurboHash" }
+
+// Setup allocates and persists the (zeroed) bucket array.
+func (t *Table) Setup(c *pmrt.Ctx) {
+	t.base = c.Alloc(nBuckets * bucketSize)
+	// The allocator hands out zeroed PM; persisting the zero image makes the
+	// empty table crash-consistent without 8192 instrumented stores.
+	c.Persist(t.base, 8) // metadata root line
+}
+
+// Apply implements apps.App.
+func (t *Table) Apply(c *pmrt.Ctx, op ycsb.Op) {
+	switch op.Kind {
+	case ycsb.OpInsert, ycsb.OpUpdate:
+		t.Put(c, op.Key, op.Value)
+	case ycsb.OpGet:
+		t.Get(c, op.Key)
+	case ycsb.OpDelete:
+		t.Delete(c, op.Key)
+	}
+}
+
+func hash(key uint64) uint64 {
+	key ^= key >> 33
+	key *= 0xff51afd7ed558ccd
+	key ^= key >> 33
+	return key
+}
+
+func (t *Table) bucketAddr(b uint64) uint64 { return t.base + b*bucketSize }
+func cellAddr(bucket uint64, i int) uint64  { return bucket + offCells + uint64(i)*cellSize }
+
+// Get looks key up lock-free.
+func (t *Table) Get(c *pmrt.Ctx, key uint64) (uint64, bool) {
+	h := hash(key)
+	for p := 0; p < maxProbe; p++ {
+		b := t.bucketAddr((h + uint64(p)) % nBuckets)
+		meta := c.Load8(b + offMeta)
+		for i := 0; i < cellsPerBucket; i++ {
+			if meta&(1<<uint(i)) == 0 {
+				continue
+			}
+			if c.Load8(cellAddr(b, i)) == key {
+				return c.Load8(cellAddr(b, i) + 8), true
+			}
+		}
+		if meta == 0 {
+			return 0, false // probing stops at a never-used bucket
+		}
+	}
+	return 0, false
+}
+
+// Put inserts or updates key under the bucket's lock.
+func (t *Table) Put(c *pmrt.Ctx, key, val uint64) {
+	h := hash(key)
+	for p := 0; p < maxProbe; p++ {
+		idx := (h + uint64(p)) % nBuckets
+		b := t.bucketAddr(idx)
+		c.Lock(t.locks[idx])
+		meta := c.Load8(b + offMeta)
+		free := -1
+		for i := 0; i < cellsPerBucket; i++ {
+			if meta&(1<<uint(i)) == 0 {
+				if free < 0 {
+					free = i
+				}
+				continue
+			}
+			if c.Load8(cellAddr(b, i)) == key {
+				// In-place update: correctly persisted in both variants.
+				c.Store8(cellAddr(b, i)+8, val)
+				c.Persist(cellAddr(b, i)+8, 8)
+				c.Unlock(t.locks[idx])
+				return
+			}
+		}
+		if free >= 0 {
+			t.insertCell(c, b, free, key, val, meta)
+			c.Unlock(t.locks[idx])
+			return
+		}
+		c.Unlock(t.locks[idx])
+	}
+	// All probe buckets full: drop the insert (bounded-probing tables shed
+	// load to a stash in the original; irrelevant to the races under study).
+}
+
+// insertCell writes a cell and its metadata bit. BUG #3 (Table 2 #3, new):
+// the buggy variant flushes only the bucket's first cache line — the
+// metadata and cells 0–2. A cell in the second line stays unpersisted
+// forever while lock-free gets can already read it; a crash then loses the
+// entry but keeps its side effects.
+func (t *Table) insertCell(c *pmrt.Ctx, bucket uint64, i int, key, val, meta uint64) {
+	c.Store8(cellAddr(bucket, i), key)
+	c.Store8(cellAddr(bucket, i)+8, val)
+	c.Store8(bucket+offMeta, meta|1<<uint(i))
+	if t.fixed {
+		c.Persist(cellAddr(bucket, i), cellSize)
+		c.Persist(bucket+offMeta, 8)
+	} else {
+		c.Persist(bucket, pmem.LineSize) // first line only: misses cells 3–6
+	}
+}
+
+// Delete clears key's cell bit under the bucket's lock.
+func (t *Table) Delete(c *pmrt.Ctx, key uint64) {
+	h := hash(key)
+	for p := 0; p < maxProbe; p++ {
+		idx := (h + uint64(p)) % nBuckets
+		b := t.bucketAddr(idx)
+		c.Lock(t.locks[idx])
+		meta := c.Load8(b + offMeta)
+		for i := 0; i < cellsPerBucket; i++ {
+			if meta&(1<<uint(i)) != 0 && c.Load8(cellAddr(b, i)) == key {
+				c.Store8(b+offMeta, meta&^(1<<uint(i)))
+				c.Persist(b+offMeta, 8)
+				c.Unlock(t.locks[idx])
+				return
+			}
+		}
+		stop := meta == 0
+		c.Unlock(t.locks[idx])
+		if stop {
+			return
+		}
+	}
+}
+
+// ValidateCrash scans every bucket in the persistent image: a metadata
+// bitmap bit whose cell holds key 0 is the torn insert race #3 leaves behind
+// — the first-line metadata persisted while the second-line cell did not.
+func (t *Table) ValidateCrash(p *pmem.Pool) []string {
+	var out []string
+	for bi := uint64(0); bi < nBuckets; bi++ {
+		b := t.bucketAddr(bi)
+		meta := p.ReadPersistent8(b + offMeta)
+		for i := 0; i < cellsPerBucket; i++ {
+			if meta&(1<<uint(i)) == 0 {
+				continue
+			}
+			if p.ReadPersistent8(cellAddr(b, i)) == 0 {
+				out = append(out, fmt.Sprintf(
+					"bucket %d cell %d: occupancy bit persisted but cell empty (torn insert, bug #3)", bi, i))
+			}
+		}
+	}
+	return out
+}
+
+func init() {
+	apps.Register(&apps.Entry{
+		Name:    "TurboHash",
+		Factory: New,
+		Bugs: []apps.BugSpec{
+			{
+				ID: 3, New: true,
+				StoreFunc: "turbohash.(*Table).insertCell", LoadFunc: "turbohash.(*Table).Get",
+				Description: "load unpersisted value",
+			},
+		},
+		Benign: apps.Pairs(
+			[]string{
+				"turbohash.(*Table).insertCell", "turbohash.(*Table).Put",
+				"turbohash.(*Table).Delete",
+			},
+			[]string{"turbohash.(*Table).Get"},
+		),
+		Spec: ycsb.DefaultSpec,
+	})
+}

@@ -1,0 +1,286 @@
+// Package wipe reimplements WIPE (Wang et al., TACO'24), the
+// write-optimized learned index of the paper's evaluation: a sorted array of
+// linear-model segments, each with an unsorted PM buffer absorbing writes.
+// Puts and deletes take per-segment locks; gets are lock-free (Table 1 lists
+// the synchronization as Lock).
+//
+// The buggy variant carries the three Table 2 races (all new):
+//
+//	#16: a put publishes the buffer entry's key without persisting it
+//	    ((*Index).putKey) — lock-free gets read the unpersisted key
+//	    (pointer_bentry.h:1771/1799 vs 1606).
+//	#17: same for the value ((*Index).putValue vs the get's value load,
+//	    pointer_bentry.h:1550/1772 vs 1601).
+//	#18: node expansion replaces a full buffer with a larger one via an
+//	    atomic pointer swap; the buffer data is persisted but the pointer is
+//	    not ((*Index).expand vs (*Index).lookupSegment, letree.h:393 vs 228).
+package wipe
+
+import (
+	"fmt"
+
+	"hawkset/internal/apps"
+	"hawkset/internal/pmem"
+	"hawkset/internal/pmrt"
+	"hawkset/internal/ycsb"
+)
+
+// Segment buffer layout (PM):
+//
+//	+0   cap   uint64
+//	+8   count uint64
+//	+16  cap × (key uint64, val uint64)   (key 0 = tombstone)
+const (
+	offCap     = 0
+	offCount   = 8
+	offEntries = 16
+	entrySize  = 16
+	initialCap = 8
+
+	nSegments = 256
+)
+
+// Index is the learned index: keys are partitioned over segments by a
+// (perfectly learned) linear model on the key's high bits; each segment's
+// writes land in its PM buffer.
+type Index struct {
+	rt    *pmrt.Runtime
+	segs  uint64 // PM array: nSegments buffer pointers
+	locks []*pmrt.Mutex
+	fixed bool
+}
+
+// New creates a WIPE instance. fixed repairs races #16–#18.
+func New(rt *pmrt.Runtime, fixed bool) apps.App {
+	idx := &Index{rt: rt, fixed: fixed}
+	idx.locks = make([]*pmrt.Mutex, nSegments)
+	for i := range idx.locks {
+		idx.locks[i] = rt.NewMutex("wipe-seg")
+	}
+	return idx
+}
+
+// Name implements apps.App.
+func (x *Index) Name() string { return "WIPE" }
+
+// Setup allocates the segment directory and initial buffers.
+func (x *Index) Setup(c *pmrt.Ctx) {
+	x.segs = c.Alloc(nSegments * 8)
+	c.Persist(x.segs, 8)
+}
+
+// Apply implements apps.App.
+func (x *Index) Apply(c *pmrt.Ctx, op ycsb.Op) {
+	key := op.Key | 1 // key 0 is the tombstone marker
+	switch op.Kind {
+	case ycsb.OpInsert, ycsb.OpUpdate:
+		x.Put(c, key, op.Value)
+	case ycsb.OpGet:
+		x.Get(c, key)
+	case ycsb.OpDelete:
+		x.Delete(c, key)
+	}
+}
+
+// model is the learned placement function: WIPE's linear models partition
+// the key space evenly; benchmark keys occupy a small dense range, so the
+// model operates on a mixed image of the key.
+func model(key uint64) uint64 {
+	key *= 0x9e3779b97f4a7c15
+	return key >> 56 % nSegments
+}
+
+func keyAddr(buf uint64, i uint64) uint64 { return buf + offEntries + i*entrySize }
+func valAddr(buf uint64, i uint64) uint64 { return keyAddr(buf, i) + 8 }
+
+// lookupSegment reads the segment's buffer pointer lock-free — the load
+// side of race #18.
+func (x *Index) lookupSegment(c *pmrt.Ctx, s uint64) uint64 {
+	return c.Load8(x.segs + s*8)
+}
+
+// Get searches the segment buffer lock-free.
+func (x *Index) Get(c *pmrt.Ctx, key uint64) (uint64, bool) {
+	buf := x.lookupSegment(c, model(key))
+	if buf == 0 {
+		return 0, false
+	}
+	count := c.Load8(buf + offCount)
+	for i := uint64(0); i < count; i++ {
+		k := c.Load8(keyAddr(buf, i)) // race #16's load
+		if k == key {
+			return c.Load8(valAddr(buf, i)), true // race #17's load
+		}
+	}
+	return 0, false
+}
+
+// Put inserts or updates under the segment lock, expanding the buffer when
+// full.
+func (x *Index) Put(c *pmrt.Ctx, key, val uint64) {
+	s := model(key)
+	c.Lock(x.locks[s])
+	defer c.Unlock(x.locks[s])
+
+	buf := c.Load8(x.segs + s*8)
+	if buf == 0 {
+		buf = x.newBuffer(c, initialCap)
+		c.Store8(x.segs+s*8, buf)
+		c.Persist(x.segs+s*8, 8)
+	}
+	capacity := c.Load8(buf + offCap)
+	count := c.Load8(buf + offCount)
+	// In-place update or tombstone reuse.
+	free := capacity
+	for i := uint64(0); i < count; i++ {
+		k := c.Load8(keyAddr(buf, i))
+		if k == key {
+			x.putValue(c, buf, i, val)
+			return
+		}
+		if k == 0 && free == capacity {
+			free = i
+		}
+	}
+	if free == capacity && count == capacity {
+		buf = x.expand(c, s, buf, capacity, count)
+		count = c.Load8(buf + offCount) // tombstones were compacted away
+		free = count
+	} else if free == capacity {
+		free = count
+	}
+	x.putValue(c, buf, free, val)
+	x.putKey(c, buf, free, key)
+	if free == count {
+		c.Store8(buf+offCount, count+1)
+		c.Persist(buf+offCount, 8)
+	}
+}
+
+// putKey publishes a buffer entry's key. BUG #16 (Table 2 #16, new): the
+// buggy variant omits the persist; lock-free gets read the unpersisted key.
+func (x *Index) putKey(c *pmrt.Ctx, buf, i, key uint64) {
+	c.Store8(keyAddr(buf, i), key)
+	if x.fixed {
+		c.Persist(keyAddr(buf, i), 8)
+	}
+}
+
+// putValue writes a buffer entry's value. BUG #17 (Table 2 #17, new): the
+// buggy variant omits the persist.
+func (x *Index) putValue(c *pmrt.Ctx, buf, i, val uint64) {
+	c.Store8(valAddr(buf, i), val)
+	if x.fixed {
+		c.Persist(valAddr(buf, i), 8)
+	}
+}
+
+// newBuffer allocates a persisted buffer of the given capacity.
+func (x *Index) newBuffer(c *pmrt.Ctx, capacity uint64) uint64 {
+	buf := c.Alloc(offEntries + capacity*entrySize)
+	c.Store8(buf+offCap, capacity)
+	c.Store8(buf+offCount, 0)
+	c.Persist(buf, 16)
+	return buf
+}
+
+// expand doubles a full segment buffer: the new buffer is filled and
+// persisted while private, then published by an atomic pointer swap.
+// BUG #18 (Table 2 #18, new): the buggy variant does not persist the swapped
+// pointer (letree.h:393), so every subsequent modification to the new buffer
+// can be lost even though the buffer data itself was persisted.
+func (x *Index) expand(c *pmrt.Ctx, s, buf, capacity, count uint64) uint64 {
+	nb := x.newBuffer(c, capacity*2)
+	live := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		k := c.Load8(keyAddr(buf, i))
+		if k == 0 {
+			continue
+		}
+		v := c.Load8(valAddr(buf, i))
+		c.Store8(keyAddr(nb, live), k)
+		c.Store8(valAddr(nb, live), v)
+		live++
+	}
+	c.Store8(nb+offCount, live)
+	c.Persist(nb, offEntries+capacity*2*entrySize)
+	c.Store8(x.segs+s*8, nb)
+	if x.fixed {
+		c.Persist(x.segs+s*8, 8)
+	}
+	return nb
+}
+
+// Delete tombstones the key under the segment lock (persisted; deletion is
+// not one of WIPE's seeded defects).
+func (x *Index) Delete(c *pmrt.Ctx, key uint64) {
+	s := model(key)
+	c.Lock(x.locks[s])
+	defer c.Unlock(x.locks[s])
+	buf := c.Load8(x.segs + s*8)
+	if buf == 0 {
+		return
+	}
+	count := c.Load8(buf + offCount)
+	for i := uint64(0); i < count; i++ {
+		if c.Load8(keyAddr(buf, i)) == key {
+			c.Store8(keyAddr(buf, i), 0)
+			c.Persist(keyAddr(buf, i), 8)
+			return
+		}
+	}
+}
+
+// ValidateCrash scans every persisted segment buffer: a persisted count
+// admitting an all-zero entry is the torn state bugs #16/#17 leave behind
+// (count persisted, key/value not).
+func (x *Index) ValidateCrash(p *pmem.Pool) []string {
+	var out []string
+	for s := uint64(0); s < nSegments; s++ {
+		buf := p.ReadPersistent8(x.segs + s*8)
+		if buf == 0 {
+			continue
+		}
+		capacity := p.ReadPersistent8(buf + offCap)
+		count := p.ReadPersistent8(buf + offCount)
+		if capacity == 0 || count > capacity {
+			out = append(out, fmt.Sprintf("segment %d buffer %#x: count %d / capacity %d torn", s, buf, count, capacity))
+			continue
+		}
+		for i := uint64(0); i < count; i++ {
+			k := p.ReadPersistent8(keyAddr(buf, i))
+			v := p.ReadPersistent8(valAddr(buf, i))
+			if k == 0 && v == 0 {
+				out = append(out, fmt.Sprintf(
+					"segment %d entry %d: count persisted but entry empty (torn put, bugs #16/#17)", s, i))
+			}
+		}
+	}
+	return out
+}
+
+func init() {
+	apps.Register(&apps.Entry{
+		Name:    "WIPE",
+		Factory: New,
+		Bugs: []apps.BugSpec{
+			{ID: 16, New: true,
+				StoreFunc: "wipe.(*Index).putKey", LoadFunc: "wipe.(*Index).Get",
+				Description: "load unpersisted key"},
+			{ID: 17, New: true,
+				StoreFunc: "wipe.(*Index).putValue", LoadFunc: "wipe.(*Index).Get",
+				Description: "load unpersisted value"},
+			{ID: 18, New: true,
+				StoreFunc: "wipe.(*Index).expand", LoadFunc: "wipe.(*Index).lookupSegment",
+				Description: "load unpersisted pointer"},
+		},
+		Benign: apps.Pairs(
+			[]string{
+				"wipe.(*Index).Put", "wipe.(*Index).putKey", "wipe.(*Index).putValue",
+				"wipe.(*Index).expand", "wipe.(*Index).Delete",
+			},
+			[]string{"wipe.(*Index).Get", "wipe.(*Index).lookupSegment"},
+		),
+		Spec: ycsb.DefaultSpec,
+	})
+}

@@ -1,0 +1,108 @@
+package durinn
+
+import (
+	"strings"
+	"testing"
+
+	"hawkset/internal/apps"
+	"hawkset/internal/ycsb"
+
+	_ "hawkset/internal/apps/fastfair"
+	_ "hawkset/internal/apps/pmasstree"
+)
+
+func smallWorkload(seed int64) *ycsb.Workload {
+	spec := ycsb.DefaultSpec(200)
+	spec.LoadCount = 100
+	spec.KeySpace = 1 << 10
+	return ycsb.Generate(spec, seed)
+}
+
+// TestFindsAlwaysOnBug: P-Masstree's bug #5 (every put publishes an
+// unpersisted entry) is exactly the durable-linearizability violation
+// Durinn's operation-level search excels at: some breakpoint inside a put
+// exposes the unpersisted value to a get on the same key.
+func TestFindsAlwaysOnBug(t *testing.T) {
+	e, err := apps.Lookup("P-Masstree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Detect(e, smallWorkload(3), DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) == 0 {
+		t.Fatalf("no findings over %d pairs / %d executions", res.PairsTried, res.Executions)
+	}
+	found := false
+	for _, f := range res.Findings {
+		if strings.Contains(f.StoreFrame.Func, "putValue") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("bug #5 (putValue) not among findings: %+v", res.Findings)
+	}
+}
+
+// TestCostMultiplies: the execution count is pairs × breakpoints shaped —
+// the §6.3 efficiency critique in numbers.
+func TestCostMultiplies(t *testing.T) {
+	e, err := apps.Lookup("P-Masstree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(5)
+	cfg.MaxPairs = 4
+	cfg.MaxBreakpoints = 6
+	res, err := Detect(e, smallWorkload(5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PairsTried == 0 {
+		t.Fatal("no candidate pairs extracted")
+	}
+	// Per pair: one serialized pre-run plus up to MaxBreakpoints probes.
+	if res.Executions < res.PairsTried*2 {
+		t.Fatalf("executions = %d for %d pairs — breakpoint exploration missing", res.Executions, res.PairsTried)
+	}
+	if res.Executions > res.PairsTried*(cfg.MaxBreakpoints+1) {
+		t.Fatalf("executions = %d exceed the pairs×breakpoints budget", res.Executions)
+	}
+}
+
+// TestMissesRareBranchBug: Fast-Fair's bug #2 lives on the tree-growth
+// branch, which never executes inside the probed operation pairs of a small
+// workload — operation-level adversarial search cannot reach what the
+// serialized history does not cover, while HawkSet's lockset analysis flags
+// it from the same workload (§5.2).
+func TestMissesRareBranchBug(t *testing.T) {
+	e, err := apps.Lookup("Fast-Fair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(7)
+	cfg.MaxPairs = 8
+	res, err := Detect(e, smallWorkload(7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Findings {
+		if strings.Contains(f.StoreFrame.Func, "growRoot") {
+			t.Fatalf("operation-level search unexpectedly reached the root-growth branch: %+v", f)
+		}
+	}
+}
+
+// TestCandidatePairsSameKey: extracted pairs always share the key.
+func TestCandidatePairsSameKey(t *testing.T) {
+	w := smallWorkload(11)
+	for _, p := range candidatePairs(w, 100) {
+		if p.writer.Key != p.reader.Key {
+			t.Fatalf("pair keys differ: %d vs %d", p.writer.Key, p.reader.Key)
+		}
+		if p.reader.Kind != ycsb.OpGet {
+			t.Fatalf("reader is %v, want get", p.reader.Kind)
+		}
+	}
+}

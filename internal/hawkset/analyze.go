@@ -1,0 +1,256 @@
+package hawkset
+
+import (
+	"sort"
+
+	"hawkset/internal/lockset"
+	"hawkset/internal/pmem"
+	"hawkset/internal/vclock"
+)
+
+// analyze is stage ③: the PM-Aware Lockset Analysis of Algorithm 1. Every
+// store record is paired with every load record to an overlapping address
+// range from a different thread; pairs ordered by inter-thread
+// happens-before are pruned; the remaining pairs race iff the store's
+// effective lockset and the load's lockset share no lock.
+//
+// The implementation applies the optimizations of §4: accesses are grouped
+// by cache line, records are deduplicated shapes with counts (built during
+// replay), lockset-disjointness and vector-clock comparisons are memoized by
+// interned ID pairs, and intersections short-circuit on empty or equal
+// locksets.
+func analyze(res *Result, cfg Config) {
+	buckets := make(map[uint64]*storeLoadBucket)
+	get := func(line uint64) *storeLoadBucket {
+		b := buckets[line]
+		if b == nil {
+			b = &storeLoadBucket{}
+			buckets[line] = b
+		}
+		return b
+	}
+	for _, st := range res.Stores {
+		linesOf(st.Addr, st.Size, func(line uint64) { get(line).stores = append(get(line).stores, st) })
+	}
+	for _, ld := range res.Loads {
+		linesOf(ld.Addr, ld.Size, func(line uint64) { get(line).loads = append(get(line).loads, ld) })
+	}
+
+	cmp := newComparer(res.Locksets, res.VClocks)
+	reports := make(map[[2]int32]*Report) // (store site, load site) -> report
+	seenPair := make(map[pairKey]struct{})
+
+	// Iterate buckets in address order so report example fields (address,
+	// thread pair, end kind) are deterministic for a given trace.
+	lineKeys := make([]uint64, 0, len(buckets))
+	for line := range buckets {
+		lineKeys = append(lineKeys, line)
+	}
+	sort.Slice(lineKeys, func(i, j int) bool { return lineKeys[i] < lineKeys[j] })
+
+	for _, line := range lineKeys {
+		b := buckets[line]
+		for _, st := range b.stores {
+			for _, ld := range b.loads {
+				// A record spanning several lines appears in several
+				// buckets; dedupe such pairs (single-line pairs can only
+				// meet in one bucket and skip the map).
+				if spansLines(st.Addr, st.Size) || spansLines(ld.Addr, ld.Size) {
+					pk := pairKey{st: st, ld: ld}
+					if _, dup := seenPair[pk]; dup {
+						continue
+					}
+					seenPair[pk] = struct{}{}
+				}
+
+				res.Stats.PairsChecked++
+				if st.TID == ld.TID { // Algorithm 1 line 16
+					continue
+				}
+				if !overlaps(st.Addr, st.Size, ld.Addr, ld.Size) { // line 15
+					continue
+				}
+				if cfg.HBFilter && !cmp.mayRace(st, ld) { // line 17
+					res.Stats.PairsHBFiltered++
+					continue
+				}
+				if !cmp.disjoint(st.Eff, ld.LS) { // line 18
+					res.Stats.PairsLockFiltered++
+					continue
+				}
+				key := [2]int32{int32(st.Site), int32(ld.Site)}
+				rep := reports[key]
+				if rep == nil {
+					rep = &Report{
+						StoreSite:  st.Site,
+						LoadSite:   ld.Site,
+						StoreFrame: res.Sites.Lookup(st.Site),
+						LoadFrame:  res.Sites.Lookup(ld.Site),
+						Addr:       st.Addr,
+						StoreTID:   st.TID,
+						LoadTID:    ld.TID,
+						EndKind:    st.EndKind,
+					}
+					reports[key] = rep
+				}
+				rep.Pairs++
+				rep.Weight += st.Count * ld.Count
+				if st.EndKind != EndPersist {
+					rep.Unpersisted = true
+					rep.EndKind = st.EndKind
+				}
+			}
+		}
+	}
+	if cfg.StoreStore {
+		analyzeStoreStore(res, cfg, buckets, lineKeys, cmp, reports)
+	}
+
+	res.Reports = make([]Report, 0, len(reports))
+	for _, rep := range reports {
+		res.Reports = append(res.Reports, *rep)
+	}
+}
+
+// analyzeStoreStore pairs store windows with each other — the write-write
+// checking of classic lockset analysis that HawkSet deliberately omits
+// (§3.1.1). Two windows race if they can overlap in time (neither window end
+// happens-before the other's start) and their effective locksets are
+// disjoint.
+func analyzeStoreStore(res *Result, cfg Config, buckets map[uint64]*storeLoadBucket, lineKeys []uint64, cmp *comparer, reports map[[2]int32]*Report) {
+	type ssKey struct{ a, b *StoreData }
+	seen := map[ssKey]struct{}{}
+	for _, line := range lineKeys {
+		b := buckets[line]
+		for i, st := range b.stores {
+			for _, st2 := range b.stores[i+1:] {
+				if st.TID == st2.TID || !overlaps(st.Addr, st.Size, st2.Addr, st2.Size) {
+					continue
+				}
+				if spansLines(st.Addr, st.Size) || spansLines(st2.Addr, st2.Size) {
+					k := ssKey{st, st2}
+					if _, dup := seen[k]; dup {
+						continue
+					}
+					seen[k] = struct{}{}
+				}
+				// Write-write racing is judged at the store instructions
+				// themselves (the classic HB data-race check): an overwrite
+				// ends the earlier window exactly at the later store, so
+				// window-overlap reasoning would vacuously order every
+				// overwriting pair.
+				if cfg.HBFilter && (cmp.leq(st.Start, st2.Start) || cmp.leq(st2.Start, st.Start)) {
+					continue
+				}
+				if !cmp.disjoint(st.Eff, st2.Eff) {
+					continue
+				}
+				key := [2]int32{int32(st.Site), int32(st2.Site)}
+				rep := reports[key]
+				if rep == nil {
+					rep = &Report{
+						StoreSite:  st.Site,
+						LoadSite:   st2.Site,
+						StoreFrame: res.Sites.Lookup(st.Site),
+						LoadFrame:  res.Sites.Lookup(st2.Site),
+						Addr:       st.Addr,
+						StoreTID:   st.TID,
+						LoadTID:    st2.TID,
+						EndKind:    st.EndKind,
+						StoreStore: true,
+					}
+					reports[key] = rep
+				}
+				rep.Pairs++
+				rep.Weight += st.Count * st2.Count
+				if st.EndKind != EndPersist || st2.EndKind != EndPersist {
+					rep.Unpersisted = true
+				}
+			}
+		}
+	}
+}
+
+// storeLoadBucket groups the records of one cache line.
+type storeLoadBucket struct {
+	stores []*StoreData
+	loads  []*LoadData
+}
+
+type pairKey struct {
+	st *StoreData
+	ld *LoadData
+}
+
+func spansLines(addr uint64, size uint32) bool {
+	if size == 0 {
+		return false
+	}
+	return pmem.LineOf(addr) != pmem.LineOf(addr+uint64(size)-1)
+}
+
+// comparer memoizes interned-ID comparisons.
+type comparer struct {
+	ls       *lockset.Table
+	vc       *vclock.Table
+	disjMemo map[[2]lockset.ID]bool
+	leqMemo  map[[2]vclock.ID]bool
+}
+
+func newComparer(ls *lockset.Table, vc *vclock.Table) *comparer {
+	return &comparer{
+		ls:       ls,
+		vc:       vc,
+		disjMemo: make(map[[2]lockset.ID]bool),
+		leqMemo:  make(map[[2]vclock.ID]bool),
+	}
+}
+
+// disjoint reports whether the two interned locksets share no lock
+// identity. Empty sets are disjoint from everything; equal non-empty IDs
+// are never disjoint (integer short-circuit, §4).
+func (c *comparer) disjoint(a, b lockset.ID) bool {
+	if a == 0 || b == 0 {
+		return true
+	}
+	if a == b {
+		return false
+	}
+	key := [2]lockset.ID{a, b}
+	if v, ok := c.disjMemo[key]; ok {
+		return v
+	}
+	v := lockset.DisjointLocks(c.ls.Get(a), c.ls.Get(b))
+	c.disjMemo[key] = v
+	c.disjMemo[[2]lockset.ID{b, a}] = v
+	return v
+}
+
+func (c *comparer) leq(a, b vclock.ID) bool {
+	if a == b {
+		return true
+	}
+	key := [2]vclock.ID{a, b}
+	if v, ok := c.leqMemo[key]; ok {
+		return v
+	}
+	v := vclock.Leq(c.vc.Get(a), c.vc.Get(b))
+	c.leqMemo[key] = v
+	return v
+}
+
+// mayRace applies the inter-thread happens-before filter to a store window
+// and a load (§3.1.2). The load can fall inside the store's unpersisted
+// window unless it happens-before the store instruction or the window's
+// persist happens-before the load. Using the window end clock is what lets
+// the analysis catch Fig. 3's Store₃/Persist₃ case; checking the window
+// start as well additionally prunes loads that provably precede the store.
+func (c *comparer) mayRace(st *StoreData, ld *LoadData) bool {
+	if c.leq(ld.VC, st.Start) {
+		return false // load happens-before the store: it cannot read it
+	}
+	if st.End != NoVC && c.leq(st.End, ld.VC) {
+		return false // persisted (or overwritten) before the load could run
+	}
+	return true
+}

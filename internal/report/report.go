@@ -1,0 +1,141 @@
+// Package report renders analysis results for humans and machines: the
+// plain-text listing cmd/hawkset prints, and a stable JSON document for CI
+// integration — the workflow §5.3 argues HawkSet's testing times enable
+// ("developers run HawkSet often as part of the development process").
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"hawkset/internal/hawkset"
+)
+
+// Race is the JSON shape of one race report.
+type Race struct {
+	StoreSite   string `json:"store_site"`
+	StoreFunc   string `json:"store_func,omitempty"`
+	LoadSite    string `json:"load_site"`
+	LoadFunc    string `json:"load_func,omitempty"`
+	Addr        string `json:"addr"`
+	StoreThread int32  `json:"store_thread"`
+	LoadThread  int32  `json:"load_thread"`
+	WindowEnd   string `json:"window_end"`
+	Unpersisted bool   `json:"unpersisted"`
+	StoreStore  bool   `json:"store_store,omitempty"`
+	Pairs       int    `json:"pairs"`
+	Weight      uint64 `json:"weight"`
+	// Class carries the ground-truth classification when available
+	// (MR/BR/FP); empty for unclassified runs.
+	Class string `json:"class,omitempty"`
+}
+
+// Stats is the JSON shape of the analysis statistics.
+type Stats struct {
+	Events            int    `json:"events"`
+	PMAccesses        int    `json:"pm_accesses"`
+	DynamicStores     uint64 `json:"dynamic_stores"`
+	DynamicLoads      uint64 `json:"dynamic_loads"`
+	StoreRecords      int    `json:"store_records"`
+	LoadRecords       int    `json:"load_records"`
+	IRHDroppedStores  uint64 `json:"irh_dropped_stores"`
+	IRHDroppedLoads   uint64 `json:"irh_dropped_loads"`
+	UnpersistedAtEnd  int    `json:"unpersisted_at_end"`
+	LocksetsInterned  int    `json:"locksets_interned"`
+	VClocksInterned   int    `json:"vclocks_interned"`
+	PairsChecked      uint64 `json:"pairs_checked"`
+	PairsHBFiltered   uint64 `json:"pairs_hb_filtered"`
+	PairsLockFiltered uint64 `json:"pairs_lock_filtered"`
+}
+
+// Document is the top-level JSON report.
+type Document struct {
+	Tool        string    `json:"tool"`
+	Application string    `json:"application,omitempty"`
+	Workload    string    `json:"workload,omitempty"`
+	GeneratedAt time.Time `json:"generated_at"`
+	Races       []Race    `json:"races"`
+	Stats       Stats     `json:"stats"`
+}
+
+// Classifier maps a report to a class label; nil means unclassified.
+type Classifier func(hawkset.Report) string
+
+// New builds a Document from an analysis result.
+func New(res *hawkset.Result, app, workload string, classify Classifier) *Document {
+	doc := &Document{
+		Tool:        "hawkset (Go reproduction)",
+		Application: app,
+		Workload:    workload,
+		GeneratedAt: time.Now().UTC(),
+		Races:       make([]Race, 0, len(res.Reports)),
+	}
+	for _, r := range res.Reports {
+		race := Race{
+			StoreSite:   r.StoreFrame.String(),
+			StoreFunc:   r.StoreFrame.Func,
+			LoadSite:    r.LoadFrame.String(),
+			LoadFunc:    r.LoadFrame.Func,
+			Addr:        fmt.Sprintf("%#x", r.Addr),
+			StoreThread: r.StoreTID,
+			LoadThread:  r.LoadTID,
+			WindowEnd:   r.EndKind.String(),
+			Unpersisted: r.Unpersisted,
+			StoreStore:  r.StoreStore,
+			Pairs:       r.Pairs,
+			Weight:      r.Weight,
+		}
+		if classify != nil {
+			race.Class = classify(r)
+		}
+		doc.Races = append(doc.Races, race)
+	}
+	s := res.Stats
+	doc.Stats = Stats{
+		Events: s.Events, PMAccesses: s.PMAccesses,
+		DynamicStores: s.DynamicStores, DynamicLoads: s.DynamicLoads,
+		StoreRecords: s.StoreRecords, LoadRecords: s.LoadRecords,
+		IRHDroppedStores: s.IRHDroppedStores, IRHDroppedLoads: s.IRHDroppedLoads,
+		UnpersistedAtEnd: s.UnpersistedAtEnd,
+		LocksetsInterned: s.LocksetsInterned, VClocksInterned: s.VClocksInterned,
+		PairsChecked: s.PairsChecked, PairsHBFiltered: s.PairsHBFiltered,
+		PairsLockFiltered: s.PairsLockFiltered,
+	}
+	return doc
+}
+
+// WriteJSON emits the document as indented JSON.
+func (d *Document) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteText emits the human-readable listing.
+func (d *Document) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%d persistency-induced race report(s)", len(d.Races)); err != nil {
+		return err
+	}
+	if d.Application != "" {
+		fmt.Fprintf(w, " in %s", d.Application) //nolint:errcheck // best-effort text output
+	}
+	fmt.Fprintln(w) //nolint:errcheck
+	for i, r := range d.Races {
+		class := ""
+		if r.Class != "" {
+			class = " [" + r.Class + "]"
+		}
+		kind := ""
+		if r.StoreStore {
+			kind = " (store-store)"
+		}
+		if _, err := fmt.Fprintf(w, "%3d. store %s / load %s (addr=%s, T%d vs T%d, %s, pairs=%d)%s%s\n",
+			i+1, r.StoreSite, r.LoadSite, r.Addr, r.StoreThread, r.LoadThread,
+			r.WindowEnd, r.Pairs, class, kind); err != nil {
+			return err
+		}
+	}
+	return nil
+}

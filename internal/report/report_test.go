@@ -1,0 +1,81 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hawkset/internal/hawkset"
+	"hawkset/internal/trace"
+)
+
+func sampleResult(t *testing.T) *hawkset.Result {
+	t.Helper()
+	b := trace.NewBuilder()
+	b.Create(0, 1, "c1").Create(0, 2, "c2")
+	b.Store(1, 0x100, 8, "writer.store")
+	b.Load(2, 0x100, 8, "reader.load")
+	b.Join(0, 1, "j").Join(0, 2, "j")
+	cfg := hawkset.DefaultConfig()
+	cfg.IRH = false
+	return hawkset.Analyze(b.T, cfg)
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	res := sampleResult(t)
+	doc := New(res, "Toy", "unit", func(r hawkset.Report) string { return "MR" })
+	var buf bytes.Buffer
+	if err := doc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Document
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(back.Races) != 1 {
+		t.Fatalf("races = %d, want 1", len(back.Races))
+	}
+	r := back.Races[0]
+	if r.StoreSite != "writer.store" || r.LoadSite != "reader.load" {
+		t.Fatalf("sites = %q/%q", r.StoreSite, r.LoadSite)
+	}
+	if !r.Unpersisted || r.WindowEnd != "unpersisted" {
+		t.Fatalf("window fields wrong: %+v", r)
+	}
+	if r.Class != "MR" {
+		t.Fatalf("class = %q", r.Class)
+	}
+	if back.Stats.PMAccesses != 2 {
+		t.Fatalf("stats.pm_accesses = %d", back.Stats.PMAccesses)
+	}
+}
+
+func TestTextOutput(t *testing.T) {
+	res := sampleResult(t)
+	doc := New(res, "Toy", "unit", nil)
+	var buf bytes.Buffer
+	if err := doc.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"1 persistency-induced race report(s)", "writer.store", "reader.load", "T1 vs T2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmptyResult(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Store(1, 0x100, 8, "s")
+	res := hawkset.Analyze(b.T, hawkset.DefaultConfig())
+	doc := New(res, "", "", nil)
+	var buf bytes.Buffer
+	if err := doc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"races": []`) {
+		t.Fatalf("empty races must serialize as an empty array:\n%s", buf.String())
+	}
+}

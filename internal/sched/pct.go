@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// PCT scheduling (Burckhardt et al., ASPLOS'10 — "A Randomized Scheduler
+// with Probabilistic Guarantees of Finding Bugs"): every thread gets a
+// random distinct priority, the scheduler always runs the highest-priority
+// runnable thread, and at d-1 pre-sampled change points the running thread's
+// priority drops below everything seen so far. For a bug of depth d in a
+// program with n threads and k steps, a single run finds it with probability
+// ≥ 1/(n·k^(d-1)).
+//
+// The observation-based baselines can use PCT instead of uniform-random
+// scheduling: persistency-induced races are depth-2 bugs (store …crash-gap…
+// load), a good fit for small d.
+
+// pctState holds the PCT policy's bookkeeping.
+type pctState struct {
+	rng *rand.Rand
+	// priority per thread ID; higher runs first.
+	priority map[int32]int
+	// changePoints are the pre-sampled step indices (sorted ascending).
+	changePoints []uint64
+	nextChange   int
+	// nextLow hands out ever-lower priorities at change points.
+	nextLow int
+	nextHi  int
+}
+
+// NewPCT creates a scheduler using the PCT policy with bug depth d over an
+// expected schedule length of k steps. Depth < 2 degenerates to a plain
+// priority scheduler.
+func NewPCT(seed int64, maxSteps uint64, depth int, k uint64) *Scheduler {
+	s := New(seed, maxSteps)
+	if k == 0 {
+		k = 1 << 16
+	}
+	st := &pctState{
+		rng:      rand.New(rand.NewSource(seed ^ 0x7f4a7c15)),
+		priority: make(map[int32]int),
+		nextLow:  -1,
+		nextHi:   1 << 20,
+	}
+	for i := 0; i < depth-1; i++ {
+		st.changePoints = append(st.changePoints, uint64(st.rng.Int63n(int64(k))))
+	}
+	sort.Slice(st.changePoints, func(i, j int) bool { return st.changePoints[i] < st.changePoints[j] })
+	s.pct = st
+	return s
+}
+
+// pctPriority returns (assigning if new) the thread's priority.
+func (st *pctState) pctPriority(id int32) int {
+	p, ok := st.priority[id]
+	if !ok {
+		// Random distinct high priority per thread.
+		p = st.nextHi + st.rng.Intn(1<<20)
+		st.nextHi += 1 << 20
+		st.priority[id] = p
+	}
+	return p
+}
+
+// pickPCT selects the highest-priority runnable thread, applying any due
+// priority-change point to the thread that was running.
+func (s *Scheduler) pickPCT() *Thread {
+	st := s.pct
+	if st.nextChange < len(st.changePoints) && s.steps >= st.changePoints[st.nextChange] {
+		if s.current != nil {
+			st.priority[s.current.id] = st.nextLow
+			st.nextLow--
+		}
+		st.nextChange++
+	}
+	best := -1
+	bestPrio := 0
+	for i, t := range s.runnable {
+		p := st.pctPriority(t.id)
+		if best == -1 || p > bestPrio {
+			best, bestPrio = i, p
+		}
+	}
+	next := s.runnable[best]
+	s.runnable[best] = s.runnable[len(s.runnable)-1]
+	s.runnable = s.runnable[:len(s.runnable)-1]
+	return next
+}

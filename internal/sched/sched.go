@@ -1,0 +1,258 @@
+// Package sched implements a deterministic cooperative scheduler for
+// simulated threads. Exactly one simulated thread runs at a time; at every
+// yield point (the instrumented runtime yields before each PM access and
+// synchronization operation) a seeded RNG picks the next runnable thread.
+//
+// This substitutes for the OS scheduler under Intel PIN in the original
+// HawkSet: lockset analysis is interleaving-insensitive, but a deterministic
+// schedule makes every experiment reproducible from a seed, and it gives the
+// PMRace-style baseline (internal/baseline/pmrace) the schedule control it
+// needs for delay injection.
+//
+// Simulated threads are goroutines parked on per-thread channels; the
+// channel handoff establishes happens-before, so scheduler state needs no
+// locking: it is only ever touched by the single running thread.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// State describes a simulated thread's lifecycle.
+type State uint8
+
+// Thread states.
+const (
+	Runnable State = iota
+	Running
+	Blocked
+	Done
+)
+
+// Thread is a simulated thread. All methods must be called from the thread's
+// own goroutine while it is the running thread.
+type Thread struct {
+	id     int32
+	s      *Scheduler
+	state  State
+	resume chan struct{}
+	why    string // block reason, for deadlock diagnostics
+	// joiners are threads blocked in Join on this thread.
+	joiners []*Thread
+}
+
+// ID returns the thread's identifier. The root thread is 0; children are
+// numbered in creation order.
+func (t *Thread) ID() int32 { return t.id }
+
+// Scheduler multiplexes simulated threads deterministically.
+type Scheduler struct {
+	rng      *rand.Rand
+	threads  []*Thread
+	runnable []*Thread
+	current  *Thread
+	steps    uint64
+	maxSteps uint64
+	done     chan error
+	// pct, when non-nil, switches thread selection to the PCT policy.
+	pct *pctState
+}
+
+// New creates a scheduler whose thread-selection order is fully determined
+// by seed. maxSteps bounds total scheduling decisions (0 means no bound) and
+// guards against livelock in buggy applications under test.
+func New(seed int64, maxSteps uint64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed)), maxSteps: maxSteps}
+}
+
+// Steps returns the number of scheduling decisions taken so far.
+func (s *Scheduler) Steps() uint64 { return s.steps }
+
+// Current returns the running thread.
+func (s *Scheduler) Current() *Thread { return s.current }
+
+// NumThreads returns the number of threads ever created (including done
+// ones).
+func (s *Scheduler) NumThreads() int { return len(s.threads) }
+
+// schedStop is panicked through a thread's goroutine to unwind it when the
+// scheduler must abort (deadlock or step bound). Non-nil err carries the
+// abort cause; the goroutines of other, still-parked threads are left parked
+// and collected when the process (or test binary) exits — acceptable for a
+// simulator whose runs are short-lived.
+type schedStop struct{ err error }
+
+// Run executes main as thread 0 and returns once every spawned thread has
+// finished. It returns an error if the program deadlocks (all live threads
+// blocked) or exceeds the step bound. Run may only be called once per
+// Scheduler.
+func (s *Scheduler) Run(main func(t *Thread)) error {
+	if s.done != nil {
+		return fmt.Errorf("sched: Run called twice")
+	}
+	s.done = make(chan error, 1)
+	root := &Thread{id: 0, s: s, state: Running, resume: make(chan struct{}, 1)}
+	s.threads = []*Thread{root}
+	s.current = root
+	go root.run(main)
+	return <-s.done
+}
+
+// run is the goroutine body shared by the root thread and spawned threads.
+func (t *Thread) run(fn func(t *Thread)) {
+	defer func() {
+		if r := recover(); r != nil {
+			ss, ok := r.(schedStop)
+			if !ok {
+				// Application panic: surface it as the run result rather than
+				// crashing the host test binary asynchronously.
+				t.s.finish(fmt.Errorf("sched: thread %d panicked: %v", t.id, r))
+				return
+			}
+			if ss.err != nil {
+				t.s.finish(ss.err)
+			}
+			return
+		}
+		t.exit()
+	}()
+	fn(t)
+}
+
+func (s *Scheduler) finish(err error) {
+	select {
+	case s.done <- err:
+	default:
+	}
+}
+
+// Spawn creates a new runnable thread executing fn. Must be called from the
+// running thread.
+func (t *Thread) Spawn(fn func(t *Thread)) *Thread {
+	s := t.s
+	nt := &Thread{id: int32(len(s.threads)), s: s, state: Runnable, resume: make(chan struct{}, 1)}
+	s.threads = append(s.threads, nt)
+	s.runnable = append(s.runnable, nt)
+	go func() {
+		<-nt.resume
+		nt.run(fn)
+	}()
+	return nt
+}
+
+// Yield gives up the virtual CPU; the scheduler picks the next thread to run
+// (possibly this one again) using the seeded RNG.
+func (t *Thread) Yield() {
+	s := t.s
+	t.state = Runnable
+	s.runnable = append(s.runnable, t)
+	s.dispatch()
+	t.await()
+}
+
+// Park blocks the thread with a diagnostic reason until another thread calls
+// Unpark on it. Must be called from the running thread.
+func (t *Thread) Park(why string) {
+	t.state = Blocked
+	t.why = why
+	t.s.dispatch()
+	t.await()
+}
+
+// Unpark makes target runnable again. Must be called from the running
+// thread; the caller keeps running.
+func (t *Thread) Unpark(target *Thread) {
+	if target.state != Blocked {
+		panic(fmt.Sprintf("sched: Unpark of thread %d in state %d", target.id, target.state))
+	}
+	target.state = Runnable
+	target.why = ""
+	t.s.runnable = append(t.s.runnable, target)
+}
+
+// Join blocks until target has finished.
+func (t *Thread) Join(target *Thread) {
+	if target.state == Done {
+		return
+	}
+	target.joiners = append(target.joiners, t)
+	t.Park(fmt.Sprintf("join(%d)", target.id))
+}
+
+// Done reports whether the thread has finished.
+func (t *Thread) Done() bool { return t.state == Done }
+
+// exit marks the running thread finished, wakes joiners, and hands the CPU
+// to the next runnable thread; if none remain the whole run completes.
+func (t *Thread) exit() {
+	t.state = Done
+	for _, j := range t.joiners {
+		j.state = Runnable
+		j.why = ""
+		t.s.runnable = append(t.s.runnable, j)
+	}
+	t.joiners = nil
+	s := t.s
+	if len(s.runnable) == 0 {
+		if blocked := s.blockedThreads(); len(blocked) > 0 {
+			s.finish(fmt.Errorf("sched: deadlock — all live threads blocked: %v", blocked))
+			return
+		}
+		s.finish(nil)
+		return
+	}
+	s.dispatch()
+}
+
+// await parks the calling goroutine until the scheduler resumes it.
+func (t *Thread) await() {
+	<-t.resume
+}
+
+// dispatch picks the next runnable thread and resumes it. Called by the
+// running thread just before it parks itself or exits; the caller must have
+// already moved itself to the appropriate state.
+func (s *Scheduler) dispatch() {
+	next, err := s.pick()
+	if err != nil {
+		panic(schedStop{err: err})
+	}
+	s.current = next
+	next.state = Running
+	next.resume <- struct{}{}
+}
+
+func (s *Scheduler) pick() (*Thread, error) {
+	if s.maxSteps > 0 && s.steps >= s.maxSteps {
+		return nil, fmt.Errorf("sched: step bound %d exceeded (livelock?)", s.maxSteps)
+	}
+	if len(s.runnable) == 0 {
+		return nil, fmt.Errorf("sched: deadlock — all live threads blocked: %v", s.blockedThreads())
+	}
+	s.steps++
+	if s.pct != nil {
+		return s.pickPCT(), nil
+	}
+	i := s.rng.Intn(len(s.runnable))
+	next := s.runnable[i]
+	s.runnable[i] = s.runnable[len(s.runnable)-1]
+	s.runnable = s.runnable[:len(s.runnable)-1]
+	return next, nil
+}
+
+func (s *Scheduler) blockedThreads() []string {
+	var out []string
+	for _, t := range s.threads {
+		if t.state == Blocked {
+			out = append(out, fmt.Sprintf("T%d(%s)", t.id, t.why))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Blocked reports whether the thread is currently parked. Safe to read from
+// the running thread (the cooperative handoff orders all state access).
+func (t *Thread) Blocked() bool { return t.state == Blocked }

@@ -1,0 +1,231 @@
+// Package sites captures and interns program call sites. It is the
+// reproduction's substitute for HawkSet's call/return-instrumentation
+// backtraces (§4): every instrumented PM access records the Go source
+// location of the application code that issued it, deduplicated behind a
+// small integer ID so that traces stay compact and race reports can be
+// deduplicated by (store site, load site) pairs with integer comparisons.
+package sites
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ID identifies an interned call site. ID 0 is the unknown site.
+type ID int32
+
+// Frame is a resolved call site.
+type Frame struct {
+	File string
+	Line int
+	Func string
+}
+
+// String renders the frame as file:line, trimming directories, the way the
+// paper's bug tables report sites (e.g. "btree.h:560").
+func (f Frame) String() string {
+	if f.File == "" {
+		return "<unknown>"
+	}
+	file := f.File
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		file = file[i+1:]
+	}
+	if f.Line == 0 { // synthetic named site
+		return file
+	}
+	return fmt.Sprintf("%s:%d", file, f.Line)
+}
+
+// Table interns call sites. The zero value is not usable; use NewTable.
+// Table is safe for concurrent use (the simulated program is cooperatively
+// scheduled, but analyses may resolve frames from other goroutines).
+type Table struct {
+	mu      sync.Mutex
+	byPC    map[uintptr]ID
+	byName  map[string]ID
+	byStack map[[8]uintptr]ID
+	frames  []Frame
+}
+
+// NewTable creates an empty table. Index 0 is reserved for the unknown
+// frame.
+func NewTable() *Table {
+	return &Table{
+		byPC:   make(map[uintptr]ID),
+		byName: make(map[string]ID),
+		frames: []Frame{{}},
+	}
+}
+
+// Here captures the caller's call site, skipping skip additional stack
+// frames (skip 0 means the immediate caller of Here). runtime.Caller is used
+// rather than raw PC walking so inlined frames resolve to their logical
+// source location.
+func (t *Table) Here(skip int) ID {
+	pc, file, line, ok := runtime.Caller(skip + 1)
+	if !ok {
+		return 0
+	}
+	t.mu.Lock()
+	if id, ok := t.byPC[pc]; ok {
+		t.mu.Unlock()
+		return id
+	}
+	t.mu.Unlock()
+	fname := ""
+	if fn := runtime.FuncForPC(pc); fn != nil {
+		fname = fn.Name()
+	}
+	fr := Frame{File: file, Line: line, Func: fname}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.byPC[pc]; ok {
+		return id
+	}
+	id := ID(len(t.frames))
+	t.frames = append(t.frames, fr)
+	t.byPC[pc] = id
+	return id
+}
+
+// Named interns a synthetic site by name (used by toy programs and tests
+// that want stable, human-readable site labels instead of Go file:line).
+func (t *Table) Named(name string) ID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.byName[name]; ok {
+		return id
+	}
+	id := ID(len(t.frames))
+	t.frames = append(t.frames, Frame{File: name, Line: 0, Func: name})
+	t.byName[name] = id
+	return id
+}
+
+// Append adds a frame unconditionally, returning its positional ID. The
+// trace decoder uses it to reconstruct a table with identical IDs: two
+// distinct PCs may resolve to the same file:line:func (deduplicating them
+// would shift every later ID).
+func (t *Table) Append(fr Frame) ID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := ID(len(t.frames))
+	t.frames = append(t.frames, fr)
+	return id
+}
+
+// Intern adds a pre-resolved frame (used by tests and tools).
+func (t *Table) Intern(fr Frame) ID {
+	key := fmt.Sprintf("%s:%d:%s", fr.File, fr.Line, fr.Func)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.byName[key]; ok {
+		return id
+	}
+	id := ID(len(t.frames))
+	t.frames = append(t.frames, fr)
+	t.byName[key] = id
+	return id
+}
+
+// Lookup resolves an ID to its frame. Unknown IDs resolve to the zero frame.
+func (t *Table) Lookup(id ID) Frame {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || int(id) >= len(t.frames) {
+		return Frame{}
+	}
+	return t.frames[id]
+}
+
+// Len returns the number of interned frames (including the reserved zero
+// frame).
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.frames)
+}
+
+// Frames returns a copy of all frames indexed by ID (trace encoding).
+func (t *Table) Frames() []Frame {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Frame, len(t.frames))
+	copy(out, t.frames)
+	return out
+}
+
+// SortedStrings returns the rendered frames, sorted, for diagnostics.
+func (t *Table) SortedStrings() []string {
+	frames := t.Frames()
+	out := make([]string, 0, len(frames))
+	for _, f := range frames[1:] {
+		out = append(out, f.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HereStack captures the caller's call site together with up to depth-1
+// ancestor frames, interned as one unit. It is the analogue of
+// PIN_Backtrace-style deep backtraces: the resolved Frame keeps the leaf's
+// file:line while Func carries the call chain ("leaf<-caller<-..."), so
+// reports show how the racy access was reached. Deep capture is
+// substantially more expensive than Here — the original tool measured up to
+// 90% overhead for PIN's built-in backtraces and replaced them with
+// call/return instrumentation (§4); the reproduction keeps the cheap
+// single-frame mode as the default and offers this one opt-in.
+func (t *Table) HereStack(skip, depth int) ID {
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > 8 {
+		depth = 8
+	}
+	var pcs [8]uintptr
+	n := runtime.Callers(skip+2, pcs[:depth])
+	if n == 0 {
+		return 0
+	}
+	key := pcs // array copy: the interning key
+	t.mu.Lock()
+	if id, ok := t.byStack[key]; ok {
+		t.mu.Unlock()
+		return id
+	}
+	t.mu.Unlock()
+
+	frames := runtime.CallersFrames(pcs[:n])
+	var leaf Frame
+	var chain []string
+	for i := 0; ; i++ {
+		fr, more := frames.Next()
+		if i == 0 {
+			leaf = Frame{File: fr.File, Line: fr.Line, Func: fr.Function}
+		}
+		if fr.Function != "" {
+			chain = append(chain, fr.Function)
+		}
+		if !more {
+			break
+		}
+	}
+	leaf.Func = strings.Join(chain, "<-")
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.byStack[key]; ok {
+		return id
+	}
+	if t.byStack == nil {
+		t.byStack = make(map[[8]uintptr]ID)
+	}
+	id := ID(len(t.frames))
+	t.frames = append(t.frames, leaf)
+	t.byStack[key] = id
+	return id
+}

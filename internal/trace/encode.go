@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"hawkset/internal/sites"
+)
+
+// Binary trace format:
+//
+//	magic   "HWKT"            4 bytes
+//	version uvarint           currently 1
+//	nsites  uvarint           number of site frames (excluding reserved 0)
+//	sites   nsites × frame    frame = file string, line uvarint, func string
+//	nevents uvarint
+//	events  nevents × event   event = kind byte, tid uvarint, then
+//	                          kind-dependent fields, all uvarint
+//	strings are uvarint length + bytes
+//
+// The format exists so traces can be captured once (cmd/hawkset -trace-out)
+// and analyzed repeatedly or inspected with cmd/tracedump, mirroring the
+// decoupling between HawkSet's instrumentation and analysis stages.
+
+const (
+	magic   = "HWKT"
+	version = 1
+)
+
+var errBadMagic = errors.New("trace: bad magic (not a HawkSet trace file)")
+
+// Encode writes the trace in the binary format.
+func Encode(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	putUvarint(bw, version)
+	frames := t.Sites.Frames()
+	putUvarint(bw, uint64(len(frames)-1))
+	for _, f := range frames[1:] {
+		putString(bw, f.File)
+		putUvarint(bw, uint64(f.Line))
+		putString(bw, f.Func)
+	}
+	putUvarint(bw, uint64(len(t.Events)))
+	for _, e := range t.Events {
+		if err := encodeEvent(bw, e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func encodeEvent(bw *bufio.Writer, e Event) error {
+	if err := bw.WriteByte(byte(e.Kind)); err != nil {
+		return err
+	}
+	putUvarint(bw, uint64(e.TID))
+	putUvarint(bw, uint64(e.Site))
+	switch e.Kind {
+	case KStore, KLoad, KNTStore, KAlloc:
+		putUvarint(bw, e.Addr)
+		putUvarint(bw, uint64(e.Size))
+	case KFlush:
+		putUvarint(bw, e.Addr)
+	case KFence:
+	case KLockAcq, KLockRel:
+		putUvarint(bw, e.Lock)
+	case KThreadCreate, KThreadJoin:
+		putUvarint(bw, uint64(e.Kid))
+	default:
+		return fmt.Errorf("trace: cannot encode event kind %d", e.Kind)
+	}
+	return nil
+}
+
+// Decode reads a binary trace.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var mg [4]byte
+	if _, err := io.ReadFull(br, mg[:]); err != nil {
+		return nil, err
+	}
+	if string(mg[:]) != magic {
+		return nil, errBadMagic
+	}
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	t := New()
+	nsites, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nsites; i++ {
+		file, err := getString(br)
+		if err != nil {
+			return nil, err
+		}
+		line, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		fn, err := getString(br)
+		if err != nil {
+			return nil, err
+		}
+		t.Sites.Append(sites.Frame{File: file, Line: int(line), Func: fn})
+	}
+	nevents, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	t.Events = make([]Event, 0, nevents)
+	for i := uint64(0); i < nevents; i++ {
+		e, err := decodeEvent(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		t.Events = append(t.Events, e)
+	}
+	return t, nil
+}
+
+func decodeEvent(br *bufio.Reader) (Event, error) {
+	var e Event
+	k, err := br.ReadByte()
+	if err != nil {
+		return e, err
+	}
+	e.Kind = Kind(k)
+	tid, err := binary.ReadUvarint(br)
+	if err != nil {
+		return e, err
+	}
+	e.TID = int32(tid)
+	site, err := binary.ReadUvarint(br)
+	if err != nil {
+		return e, err
+	}
+	e.Site = sites.ID(site)
+	switch e.Kind {
+	case KStore, KLoad, KNTStore, KAlloc:
+		if e.Addr, err = binary.ReadUvarint(br); err != nil {
+			return e, err
+		}
+		sz, err := binary.ReadUvarint(br)
+		if err != nil {
+			return e, err
+		}
+		e.Size = uint32(sz)
+	case KFlush:
+		if e.Addr, err = binary.ReadUvarint(br); err != nil {
+			return e, err
+		}
+	case KFence:
+	case KLockAcq, KLockRel:
+		if e.Lock, err = binary.ReadUvarint(br); err != nil {
+			return e, err
+		}
+	case KThreadCreate, KThreadJoin:
+		kid, err := binary.ReadUvarint(br)
+		if err != nil {
+			return e, err
+		}
+		e.Kid = int32(kid)
+	default:
+		return e, fmt.Errorf("unknown kind %d", k)
+	}
+	return e, nil
+}
+
+func putUvarint(bw *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	bw.Write(buf[:n]) //nolint:errcheck // bufio defers errors to Flush
+}
+
+func putString(bw *bufio.Writer, s string) {
+	putUvarint(bw, uint64(len(s)))
+	bw.WriteString(s) //nolint:errcheck // bufio defers errors to Flush
+}
+
+func getString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("trace: string length %d too large", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hawkset/internal/sites"
+)
+
+func sampleTrace() *Trace {
+	b := NewBuilder()
+	b.Create(0, 1, "main.spawn")
+	b.Lock(1, 7, "worker.lock")
+	b.Store(1, 0x100, 8, "worker.store")
+	b.Persist(1, 0x100, 8, "worker.persist")
+	b.Unlock(1, 7, "worker.unlock")
+	b.Load(0, 0x100, 8, "main.load")
+	b.NTStore(0, 0x200, 8, "main.nt")
+	b.Fence(0, "main.fence")
+	b.Join(0, 1, "main.join")
+	return b.T
+}
+
+func TestBuilderProducesEvents(t *testing.T) {
+	tr := sampleTrace()
+	counts := tr.Counts()
+	if counts[KStore] != 1 || counts[KLoad] != 1 || counts[KFlush] != 1 ||
+		counts[KFence] != 2 || counts[KLockAcq] != 1 || counts[KLockRel] != 1 ||
+		counts[KNTStore] != 1 || counts[KThreadCreate] != 1 || counts[KThreadJoin] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if tr.Threads() != 2 {
+		t.Fatalf("Threads = %d, want 2", tr.Threads())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Events, tr.Events) {
+		t.Fatalf("events differ:\n got %v\nwant %v", got.Events, tr.Events)
+	}
+	for _, e := range tr.Events {
+		want := tr.Sites.Lookup(e.Site).String()
+		if got := got.Sites.Lookup(e.Site).String(); got != want {
+			t.Fatalf("site %d = %q, want %q", e.Site, got, want)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(strings.NewReader("NOPE....")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Decode(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{5, len(raw) / 2, len(raw) - 1} {
+		if _, err := Decode(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	tr := sampleTrace()
+	var all []string
+	for _, e := range tr.Events {
+		all = append(all, e.String())
+	}
+	s := strings.Join(all, "\n")
+	for _, want := range []string{"store", "load", "flush", "fence", "lock", "unlock", "create", "join", "ntstore"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered trace missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// Property: encode∘decode is the identity on random event sequences.
+func TestRoundTripProperty(t *testing.T) {
+	kinds := []Kind{KStore, KLoad, KNTStore, KFlush, KFence, KLockAcq, KLockRel, KThreadCreate, KThreadJoin}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		site := tr.Sites.Intern(sites.Frame{File: "x.go", Line: 1, Func: "f"})
+		for i := 0; i < 100; i++ {
+			e := Event{Kind: kinds[rng.Intn(len(kinds))], TID: int32(rng.Intn(8)), Site: site}
+			switch e.Kind {
+			case KStore, KLoad, KNTStore:
+				e.Addr = uint64(rng.Intn(1 << 20))
+				e.Size = uint32(rng.Intn(64) + 1)
+			case KFlush:
+				e.Addr = uint64(rng.Intn(1<<20)) / 64 * 64
+			case KLockAcq, KLockRel:
+				e.Lock = uint64(rng.Intn(100))
+			case KThreadCreate, KThreadJoin:
+				e.Kid = int32(rng.Intn(8))
+			}
+			tr.Append(e)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Events, tr.Events)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+// Package vclock implements Fidge/Mattern vector clocks with a logical
+// counter per thread, as used by HawkSet's inter-thread happens-before
+// analysis (§3.1.2), plus an interning table so that clocks are shared
+// across PM accesses and identified by small integers (§4: "Locksets and
+// vector clocks are shared across PM accesses ... unique and identifiable by
+// a unique integer").
+package vclock
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// VC is a vector clock: VC[i] is the logical time of thread i. Clocks may
+// have different lengths; missing trailing components are zero.
+type VC []uint32
+
+// Clone returns a copy of v.
+func (v VC) Clone() VC {
+	out := make(VC, len(v))
+	copy(out, v)
+	return out
+}
+
+// Get returns component i (zero if beyond the clock's length).
+func (v VC) Get(i int) uint32 {
+	if i < len(v) {
+		return v[i]
+	}
+	return 0
+}
+
+// Bump increments component i in place, growing the clock as needed, and
+// returns the (possibly reallocated) clock.
+func (v VC) Bump(i int) VC {
+	for len(v) <= i {
+		v = append(v, 0)
+	}
+	v[i]++
+	return v
+}
+
+// Join sets v to the componentwise maximum of v and o, returning the
+// (possibly reallocated) clock. Used at thread join (§3.1.2 rule iii).
+func (v VC) Join(o VC) VC {
+	for len(v) < len(o) {
+		v = append(v, 0)
+	}
+	for i, c := range o {
+		if c > v[i] {
+			v[i] = c
+		}
+	}
+	return v
+}
+
+// Leq reports whether v happens-before-or-equals o: every component of v is
+// ≤ the corresponding component of o.
+func Leq(v, o VC) bool {
+	for i := 0; i < len(v) || i < len(o); i++ {
+		if v.Get(i) > o.Get(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports whether v and o are incomparable: there are indices i,j
+// with v[i] < o[i] and v[j] > o[j] (§3.1.2). Equal clocks are not
+// concurrent.
+func Concurrent(v, o VC) bool {
+	return !Leq(v, o) && !Leq(o, v)
+}
+
+// String renders the clock as a tuple, e.g. "(3,0,1)".
+func (v VC) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", c)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// ID identifies an interned clock. The zero ID is the empty (all-zero)
+// clock.
+type ID int32
+
+// Table interns vector clocks behind integer IDs. Not safe for concurrent
+// use (analysis is single-threaded).
+type Table struct {
+	byHash map[uint64][]ID
+	clocks []VC
+}
+
+// NewTable returns a table whose ID 0 is the empty clock.
+func NewTable() *Table {
+	return &Table{byHash: make(map[uint64][]ID), clocks: []VC{nil}}
+}
+
+func hashVC(v VC) uint64 {
+	h := fnv.New64a()
+	var b [4]byte
+	// Trailing zeros must not affect the hash: (1,0) == (1).
+	n := len(v)
+	for n > 0 && v[n-1] == 0 {
+		n--
+	}
+	for _, c := range v[:n] {
+		b[0] = byte(c)
+		b[1] = byte(c >> 8)
+		b[2] = byte(c >> 16)
+		b[3] = byte(c >> 24)
+		h.Write(b[:]) //nolint:errcheck // fnv never errors
+	}
+	return h.Sum64()
+}
+
+func equalVC(a, b VC) bool {
+	for i := 0; i < len(a) || i < len(b); i++ {
+		if a.Get(i) != b.Get(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intern returns the canonical ID for v, copying it if new.
+func (t *Table) Intern(v VC) ID {
+	n := len(v)
+	for n > 0 && v[n-1] == 0 {
+		n--
+	}
+	if n == 0 {
+		return 0
+	}
+	h := hashVC(v)
+	for _, id := range t.byHash[h] {
+		if equalVC(t.clocks[id], v) {
+			return id
+		}
+	}
+	id := ID(len(t.clocks))
+	t.clocks = append(t.clocks, v.Clone())
+	t.byHash[h] = append(t.byHash[h], id)
+	return id
+}
+
+// Get resolves an ID to its clock. The returned slice must not be mutated.
+func (t *Table) Get(id ID) VC { return t.clocks[id] }
+
+// Len returns the number of interned clocks.
+func (t *Table) Len() int { return len(t.clocks) }
+
+// ConcurrentID reports whether the clocks behind two IDs are concurrent,
+// short-circuiting on equal IDs (interning makes equality an integer
+// compare, the optimization HawkSet §4 describes).
+func (t *Table) ConcurrentID(a, b ID) bool {
+	if a == b {
+		return false
+	}
+	return Concurrent(t.clocks[a], t.clocks[b])
+}

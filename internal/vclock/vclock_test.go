@@ -1,0 +1,180 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLeqBasics(t *testing.T) {
+	cases := []struct {
+		a, b VC
+		want bool
+	}{
+		{VC{}, VC{}, true},
+		{VC{1}, VC{1}, true},
+		{VC{1}, VC{2}, true},
+		{VC{2}, VC{1}, false},
+		{VC{1, 0}, VC{1}, true}, // trailing zeros are insignificant
+		{VC{1, 1}, VC{1, 0}, false},
+		{VC{3, 0, 0}, VC{3, 1, 0}, true},
+		{VC{5, 0, 0}, VC{3, 1, 0}, false},
+	}
+	for _, c := range cases {
+		if got := Leq(c.a, c.b); got != c.want {
+			t.Errorf("Leq(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestFigure3 reproduces the paper's Figure 3 clock relationships: the
+// parent's store before creating T2/T3 is ordered with their loads, while
+// accesses of T2 and T3 are mutually concurrent, and the persist clock keeps
+// the window racy after a later thread creation.
+func TestFigure3(t *testing.T) {
+	store1 := VC{1, 0, 0}   // T1's first store
+	t2load := VC{3, 1, 0}   // T2 after creation at (3,0,0)
+	store3 := VC{4, 0, 0}   // T1 stores X again
+	t3load := VC{5, 0, 1}   // T3 created at (5,0,0)
+	persist3 := VC{6, 0, 0} // T1 persists X after creating T3
+
+	if Concurrent(store1, t2load) {
+		t.Error("Store1 must happen-before T2's load")
+	}
+	if Concurrent(store1, t3load) {
+		t.Error("Store1 must happen-before T3's load")
+	}
+	if !Concurrent(t2load, t3load) {
+		t.Error("T2 and T3 accesses must be concurrent")
+	}
+	if Concurrent(store3, t3load) {
+		t.Error("Store3 alone is ordered before T3's creation")
+	}
+	if !Concurrent(persist3, t3load) {
+		t.Error("Persist3 must be concurrent with T3's load (the race window)")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	a := VC{1, 5, 0}
+	b := VC{3, 2, 7}
+	j := a.Clone().Join(b)
+	want := VC{3, 5, 7}
+	for i := range want {
+		if j.Get(i) != want[i] {
+			t.Fatalf("Join = %v, want %v", j, want)
+		}
+	}
+}
+
+func TestBumpGrows(t *testing.T) {
+	v := VC{}.Bump(3)
+	if len(v) != 4 || v[3] != 1 {
+		t.Fatalf("Bump(3) = %v", v)
+	}
+}
+
+func TestInternCanonical(t *testing.T) {
+	tab := NewTable()
+	a := tab.Intern(VC{1, 2, 3})
+	b := tab.Intern(VC{1, 2, 3})
+	c := tab.Intern(VC{1, 2, 3, 0}) // trailing zero: same clock
+	d := tab.Intern(VC{1, 2, 4})
+	if a != b || a != c {
+		t.Fatalf("equal clocks interned differently: %d %d %d", a, b, c)
+	}
+	if a == d {
+		t.Fatal("distinct clocks interned identically")
+	}
+	if tab.Intern(nil) != 0 {
+		t.Fatal("empty clock is not ID 0")
+	}
+}
+
+func TestConcurrentID(t *testing.T) {
+	tab := NewTable()
+	a := tab.Intern(VC{1, 0})
+	b := tab.Intern(VC{0, 1})
+	c := tab.Intern(VC{1, 1})
+	if !tab.ConcurrentID(a, b) {
+		t.Fatal("(1,0) and (0,1) must be concurrent")
+	}
+	if tab.ConcurrentID(a, c) {
+		t.Fatal("(1,0) happens-before (1,1)")
+	}
+	if tab.ConcurrentID(a, a) {
+		t.Fatal("a clock is not concurrent with itself")
+	}
+}
+
+func randVC(rng *rand.Rand) VC {
+	v := make(VC, rng.Intn(5))
+	for i := range v {
+		v[i] = uint32(rng.Intn(4))
+	}
+	return v
+}
+
+// Properties of the happens-before partial order.
+func TestPartialOrderProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randVC(rng), randVC(rng), randVC(rng)
+		// Reflexivity.
+		if !Leq(a, a) {
+			return false
+		}
+		// Antisymmetry: Leq both ways means equal.
+		if Leq(a, b) && Leq(b, a) && !equalVC(a, b) {
+			return false
+		}
+		// Transitivity.
+		if Leq(a, b) && Leq(b, c) && !Leq(a, c) {
+			return false
+		}
+		// Concurrency is symmetric and irreflexive.
+		if Concurrent(a, b) != Concurrent(b, a) {
+			return false
+		}
+		if Concurrent(a, a) {
+			return false
+		}
+		// Join is an upper bound.
+		j := a.Clone().Join(b)
+		return Leq(a, j) && Leq(b, j)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interning is injective on clock values.
+func TestInternProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab := NewTable()
+		clocks := make([]VC, 50)
+		ids := make([]ID, 50)
+		for i := range clocks {
+			clocks[i] = randVC(rng)
+			ids[i] = tab.Intern(clocks[i])
+		}
+		for i := range clocks {
+			for j := range clocks {
+				if (ids[i] == ids[j]) != equalVC(clocks[i], clocks[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (VC{3, 0, 1}).String(); got != "(3,0,1)" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,17 @@
+package ycsb_test
+
+import (
+	"fmt"
+
+	"hawkset/internal/ycsb"
+)
+
+// Example generates the paper's YCSB workload shape: a load phase of
+// insertions and a zipfian main phase split across eight threads.
+func Example() {
+	w := ycsb.Generate(ycsb.DefaultSpec(10000), 42)
+	fmt.Printf("workload %s: %d load ops, %d main ops on %d threads\n",
+		w.Name, len(w.Load), w.TotalOps(), len(w.Threads))
+	// Output:
+	// workload spec8x10000-seed42: 1000 load ops, 10000 main ops on 8 threads
+}

@@ -1,0 +1,266 @@
+// Package ycsb generates the workloads of the paper's evaluation (§5):
+// YCSB-style key-value operation streams with a load phase and a
+// zipfian-distributed main phase, the memcached-pmem command mix, and
+// MadFS's shared-file write workload. All experiments in the paper run with
+// eight threads and main phases of 1k, 10k or 100k operations; the PMRace
+// comparison (Table 3) uses a corpus of 240 small seed workloads.
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind enumerates workload operations across all target applications.
+type OpKind uint8
+
+// Operations. The KV set matches the YCSB mix used for the index/hash
+// applications; the memcached set matches §5's memcached-pmem benchmark;
+// OpWrite is MadFS's 4 KB file write.
+const (
+	OpInsert OpKind = iota
+	OpUpdate
+	OpGet
+	OpDelete
+	OpScan
+	OpSet
+	OpAdd
+	OpReplace
+	OpAppend
+	OpPrepend
+	OpCAS
+	OpIncr
+	OpDecr
+	OpWrite
+)
+
+var opNames = map[OpKind]string{
+	OpInsert: "insert", OpUpdate: "update", OpGet: "get", OpDelete: "delete",
+	OpScan: "scan", OpSet: "set", OpAdd: "add", OpReplace: "replace",
+	OpAppend: "append", OpPrepend: "prepend", OpCAS: "cas", OpIncr: "incr",
+	OpDecr: "decr", OpWrite: "write",
+}
+
+func (k OpKind) String() string {
+	if s, ok := opNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Op is one workload operation.
+type Op struct {
+	Kind  OpKind
+	Key   uint64
+	Value uint64
+	// Off is the byte offset for file workloads (OpWrite).
+	Off uint64
+	// Len is the write length for file workloads.
+	Len uint64
+}
+
+// Mix is a weighted operation mix.
+type Mix []struct {
+	Kind   OpKind
+	Weight int
+}
+
+// KVMix is the paper's YCSB main-phase mix: 30% insertions, 30% updates,
+// 30% gets, 10% deletes (§5, Workloads).
+func KVMix() Mix {
+	return Mix{{OpInsert, 30}, {OpUpdate, 30}, {OpGet, 30}, {OpDelete, 10}}
+}
+
+// MemcachedMix covers the ten memcached-pmem commands of §5.
+func MemcachedMix() Mix {
+	return Mix{
+		{OpSet, 25}, {OpGet, 25}, {OpAdd, 10}, {OpReplace, 10},
+		{OpAppend, 5}, {OpPrepend, 5}, {OpCAS, 5}, {OpDelete, 5},
+		{OpIncr, 5}, {OpDecr, 5},
+	}
+}
+
+// ScanMix is a YCSB-E-style short-range-scan mix for the index structures
+// that support range queries (Fast-Fair, P-Masstree).
+func ScanMix() Mix {
+	return Mix{{OpScan, 60}, {OpInsert, 20}, {OpGet, 15}, {OpDelete, 5}}
+}
+
+// Spec parameterizes workload generation.
+type Spec struct {
+	Threads   int
+	LoadCount int // load-phase insertions (performed by the main thread)
+	OpCount   int // total main-phase operations, split across threads
+	KeySpace  uint64
+	Mix       Mix
+	// FileSize/WriteSize configure OpWrite workloads (MadFS).
+	FileSize  uint64
+	WriteSize uint64
+}
+
+// DefaultSpec is the paper's configuration: 8 threads, 1k-insert load phase,
+// zipfian key choice.
+func DefaultSpec(opCount int) Spec {
+	return Spec{
+		Threads:   8,
+		LoadCount: 1000,
+		OpCount:   opCount,
+		KeySpace:  1 << 20,
+		Mix:       KVMix(),
+	}
+}
+
+// Workload is a generated workload: a sequential load phase plus per-thread
+// main-phase operation streams.
+type Workload struct {
+	Name    string
+	Seed    int64
+	Load    []Op
+	Threads [][]Op
+}
+
+// TotalOps returns the number of main-phase operations.
+func (w *Workload) TotalOps() int {
+	n := 0
+	for _, t := range w.Threads {
+		n += len(t)
+	}
+	return n
+}
+
+// Generate builds a deterministic workload from spec and seed. Keys follow a
+// zipfian distribution over a window of the key space that grows with the
+// load phase, mimicking YCSB's scrambled-zipfian request distribution.
+func Generate(spec Spec, seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	if spec.Threads <= 0 {
+		spec.Threads = 1
+	}
+	if spec.KeySpace == 0 {
+		spec.KeySpace = 1 << 20
+	}
+	w := &Workload{
+		Name: fmt.Sprintf("spec%dx%d-seed%d", spec.Threads, spec.OpCount, seed),
+		Seed: seed,
+	}
+	zipf := NewZipfian(spec.KeySpace, 0.99, rng.Float64) // YCSB default theta
+	key := zipf.NextScrambled
+
+	for i := 0; i < spec.LoadCount; i++ {
+		w.Load = append(w.Load, Op{Kind: OpInsert, Key: key(), Value: rng.Uint64()})
+	}
+
+	total := 0
+	for _, m := range spec.Mix {
+		total += m.Weight
+	}
+	pick := func() OpKind {
+		n := rng.Intn(total)
+		for _, m := range spec.Mix {
+			if n < m.Weight {
+				return m.Kind
+			}
+			n -= m.Weight
+		}
+		return spec.Mix[len(spec.Mix)-1].Kind
+	}
+
+	w.Threads = make([][]Op, spec.Threads)
+	for i := 0; i < spec.OpCount; i++ {
+		t := i % spec.Threads
+		op := Op{Kind: pick(), Key: key(), Value: rng.Uint64()}
+		if op.Kind == OpScan {
+			op.Len = uint64(rng.Intn(90) + 10) // YCSB-E scan lengths: 10-100
+		}
+		if op.Kind == OpWrite {
+			if spec.FileSize == 0 {
+				spec.FileSize = 1 << 20
+			}
+			if spec.WriteSize == 0 {
+				spec.WriteSize = 4096
+			}
+			op.Off = (zipf.Next() * spec.WriteSize) % spec.FileSize
+			op.Len = spec.WriteSize
+		}
+		w.Threads[t] = append(w.Threads[t], op)
+	}
+	return w
+}
+
+// FileSpec is the MadFS workload of §5: every thread issues 4 KB writes at
+// zipfian offsets of a shared file.
+func FileSpec(opCount int) Spec {
+	return Spec{
+		Threads:   8,
+		LoadCount: 0,
+		OpCount:   opCount,
+		KeySpace:  1 << 16,
+		Mix:       Mix{{OpWrite, 1}},
+		FileSize:  4 << 20,
+		WriteSize: 4096,
+	}
+}
+
+// MemcachedSpec is the memcached-pmem benchmark of §5: a 1000-set load phase
+// followed by the ten-command zipfian mix.
+func MemcachedSpec(opCount int) Spec {
+	return Spec{
+		Threads:   8,
+		LoadCount: 1000,
+		OpCount:   opCount,
+		KeySpace:  1 << 16,
+		Mix:       MemcachedMix(),
+	}
+}
+
+// Seeds generates a corpus of n small seed workloads (≈400 operations each,
+// matching PMRace's Fast-Fair seed corpus, §5.2).
+func Seeds(n int, base int64) []*Workload {
+	out := make([]*Workload, 0, n)
+	for i := 0; i < n; i++ {
+		spec := DefaultSpec(400)
+		spec.LoadCount = 150
+		spec.KeySpace = 1 << 12
+		w := Generate(spec, base+int64(i))
+		w.Name = fmt.Sprintf("seed-%03d", i)
+		out = append(out, w)
+	}
+	return out
+}
+
+// Mutate returns a mutated copy of w, the way PMRace's fuzzing engine
+// perturbs a seed between executions: a fraction of operations get a new
+// kind, key or value.
+func Mutate(w *Workload, seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	out := &Workload{Name: w.Name + "+mut", Seed: seed, Load: w.Load}
+	out.Threads = make([][]Op, len(w.Threads))
+	kinds := []OpKind{OpInsert, OpUpdate, OpGet, OpDelete}
+	for i, ops := range w.Threads {
+		cp := make([]Op, len(ops))
+		copy(cp, ops)
+		for j := range cp {
+			if rng.Intn(10) == 0 {
+				switch rng.Intn(3) {
+				case 0:
+					cp[j].Kind = kinds[rng.Intn(len(kinds))]
+				case 1:
+					cp[j].Key = uint64(rng.Intn(1 << 12))
+				default:
+					cp[j].Value = rng.Uint64()
+				}
+			}
+		}
+		out.Threads[i] = cp
+	}
+	return out
+}
+
+// scramble is a 64-bit finalizer (splitmix64) decorrelating zipfian ranks
+// from key values, YCSB's "scrambled zipfian".
+func scramble(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
