@@ -284,6 +284,41 @@ func BenchmarkAnalysisThroughput(b *testing.B) {
 	b.ReportMetric(float64(rt.Trace.Len()), "events/op")
 }
 
+// BenchmarkParallelAnalysis sweeps the stage-③ worker count on 100k-op
+// workloads. Workers=1 is the sequential reference path; the sharded runs
+// produce byte-identical reports (see parallel_test.go), so any speedup is
+// free accuracy-wise.
+func BenchmarkParallelAnalysis(b *testing.B) {
+	for _, name := range []string{"Fast-Fair", "Memcached-pmem"} {
+		e, err := apps.Lookup(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops := 100000
+		if e.MaxOps > 0 && ops > e.MaxOps {
+			ops = e.MaxOps
+		}
+		w := ycsb.Generate(e.Spec(ops), 42)
+		rt, err := apps.Run(e, w, apps.RunConfig{Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			workers := workers
+			b.Run(benchName(e.Name, ops)+"/workers="+strconv.Itoa(workers), func(b *testing.B) {
+				cfg := hawkset.DefaultConfig()
+				cfg.Workers = workers
+				var reports int
+				for i := 0; i < b.N; i++ {
+					res := hawkset.Analyze(rt.Trace, cfg)
+					reports = len(res.Reports)
+				}
+				b.ReportMetric(float64(reports), "races/op")
+			})
+		}
+	}
+}
+
 // BenchmarkLocksetIntersect measures the hot inner loop of Algorithm 1.
 func BenchmarkLocksetIntersect(b *testing.B) {
 	a := lockset.Set{}.Add(1, 1).Add(3, 2).Add(7, 3).Add(9, 4)

@@ -1,0 +1,16 @@
+#!/bin/sh
+# ci.sh — the checks a change must pass before merging.
+#
+#   go vet      static checks
+#   go build    every package compiles
+#   go test     full unit + property + differential suite
+#   go test -race   the packages with concurrency: the sharded stage ③
+#                   analysis (internal/hawkset, exercised from the root
+#                   package's app-workload differential test) and the
+#                   cooperative scheduler (internal/sched)
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race . ./internal/hawkset ./internal/sched

@@ -26,6 +26,19 @@ import (
 	"hawkset/internal/ycsb"
 )
 
+// AnalysisWorkers is the stage-③ worker count every experiment analyzes
+// with (hawkset.Config.Workers: 0 = GOMAXPROCS, 1 = sequential). The
+// results are identical for any value; only the analysis wall time moves.
+var AnalysisWorkers int
+
+// analysisConfig is the paper's configuration with the harness-wide worker
+// count applied.
+func analysisConfig() hawkset.Config {
+	cfg := hawkset.DefaultConfig()
+	cfg.Workers = AnalysisWorkers
+	return cfg
+}
+
 // ---------------------------------------------------------------- Table 2
 
 // Table2Row is one bug line of Table 2.
@@ -64,7 +77,7 @@ func Table2(seed int64) ([]Table2Row, error) {
 		if len(e.Bugs) == 0 {
 			continue
 		}
-		res, err := apps.Detect(e, Table2Ops[e.Name], seed, apps.RunConfig{Seed: seed}, hawkset.DefaultConfig())
+		res, err := apps.Detect(e, Table2Ops[e.Name], seed, apps.RunConfig{Seed: seed}, analysisConfig())
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", e.Name, err)
 		}
@@ -181,7 +194,7 @@ func Table3(cfg Table3Config) (*Table3Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := hawkset.Analyze(rt.Trace, hawkset.DefaultConfig())
+		res := hawkset.Analyze(rt.Trace, analysisConfig())
 		hawkTime += time.Since(start)
 		for _, id := range apps.FoundBugs(e, res) {
 			switch id {
@@ -278,7 +291,7 @@ func Fig6(sizes []int, seed int64) ([]Fig6Point, error) {
 			}
 			var mid runtime.MemStats
 			runtime.ReadMemStats(&mid)
-			res := hawkset.Analyze(rt.Trace, hawkset.DefaultConfig())
+			res := hawkset.Analyze(rt.Trace, analysisConfig())
 			elapsed := time.Since(start)
 
 			var after runtime.MemStats
@@ -345,11 +358,11 @@ func Table4(seed int64) ([]Table4Row, error) {
 	var rows []Table4Row
 	for _, e := range apps.All() {
 		ops := Table2Ops[e.Name]
-		on, err := apps.Detect(e, ops, seed, apps.RunConfig{Seed: seed}, hawkset.DefaultConfig())
+		on, err := apps.Detect(e, ops, seed, apps.RunConfig{Seed: seed}, analysisConfig())
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", e.Name, err)
 		}
-		offCfg := hawkset.DefaultConfig()
+		offCfg := analysisConfig()
 		offCfg.IRH = false
 		off, err := apps.Detect(e, ops, seed, apps.RunConfig{Seed: seed}, offCfg)
 		if err != nil {

@@ -1,10 +1,13 @@
 package hawkset
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"hawkset/internal/lockset"
 	"hawkset/internal/pmem"
+	"hawkset/internal/sites"
 	"hawkset/internal/vclock"
 )
 
@@ -19,6 +22,14 @@ import (
 // replay), lockset-disjointness and vector-clock comparisons are memoized by
 // interned ID pairs, and intersections short-circuit on empty or equal
 // locksets.
+//
+// The cache-line buckets are independent work units, so the pairing is
+// sharded across Config.Workers goroutines: the sorted bucket list is
+// partitioned into contiguous ranges, each worker runs with private memo
+// tables, a private report map and private counters, and the per-shard
+// results are merged in shard order. The merge reproduces the sequential
+// pair-processing order exactly, so the output is byte-identical to the
+// Workers=1 reference path for any worker count.
 func analyze(res *Result, cfg Config) {
 	buckets := make(map[uint64]*storeLoadBucket)
 	get := func(line uint64) *storeLoadBucket {
@@ -36,10 +47,6 @@ func analyze(res *Result, cfg Config) {
 		linesOf(ld.Addr, ld.Size, func(line uint64) { get(line).loads = append(get(line).loads, ld) })
 	}
 
-	cmp := newComparer(res.Locksets, res.VClocks)
-	reports := make(map[[2]int32]*Report) // (store site, load site) -> report
-	seenPair := make(map[pairKey]struct{})
-
 	// Iterate buckets in address order so report example fields (address,
 	// thread pair, end kind) are deterministic for a given trace.
 	lineKeys := make([]uint64, 0, len(buckets))
@@ -48,22 +55,128 @@ func analyze(res *Result, cfg Config) {
 	}
 	sort.Slice(lineKeys, func(i, j int) bool { return lineKeys[i] < lineKeys[j] })
 
-	for _, line := range lineKeys {
+	shards := partitionLines(buckets, lineKeys, workerCount(cfg, len(lineKeys)), cfg.StoreStore)
+	outs := make([]*shardResult, len(shards))
+	if len(shards) == 1 {
+		// The sequential reference path (Workers=1, or a trace too small to
+		// split).
+		outs[0] = analyzeShard(res, cfg, buckets, shards[0])
+	} else {
+		var wg sync.WaitGroup
+		for i := range shards {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				outs[i] = analyzeShard(res, cfg, buckets, shards[i])
+			}(i)
+		}
+		wg.Wait()
+	}
+	mergeShards(res, outs)
+}
+
+// workerCount resolves Config.Workers: 0 means GOMAXPROCS, and a shard needs
+// at least one bucket to be worth a goroutine.
+func workerCount(cfg Config, nLines int) int {
+	n := cfg.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > nLines {
+		n = nLines
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// partitionLines splits the sorted bucket list into at most workers
+// contiguous ranges of roughly equal pairing cost (Σ stores×loads per
+// bucket, plus the store-store pairs when those are enabled). Contiguity
+// keeps the merge a simple in-order concatenation; cost weighting keeps a
+// few dense buckets from serializing the whole analysis.
+func partitionLines(buckets map[uint64]*storeLoadBucket, lineKeys []uint64, workers int, storeStore bool) [][]uint64 {
+	if workers <= 1 || len(lineKeys) <= 1 {
+		return [][]uint64{lineKeys}
+	}
+	var total uint64
+	costs := make([]uint64, len(lineKeys))
+	for i, line := range lineKeys {
+		b := buckets[line]
+		c := uint64(len(b.stores))*uint64(len(b.loads)) + 1
+		if storeStore {
+			c += uint64(len(b.stores)) * uint64(len(b.stores)) / 2
+		}
+		costs[i] = c
+		total += c
+	}
+	target := total/uint64(workers) + 1
+	parts := make([][]uint64, 0, workers)
+	start := 0
+	var acc uint64
+	for i := range lineKeys {
+		acc += costs[i]
+		if acc >= target && len(parts) < workers-1 {
+			parts = append(parts, lineKeys[start:i+1])
+			start = i + 1
+			acc = 0
+		}
+	}
+	if start < len(lineKeys) {
+		parts = append(parts, lineKeys[start:])
+	}
+	return parts
+}
+
+// reportKey identifies one deduplicated report. Store-load and store-store
+// pairs are distinct reports even when their sites coincide: a call site
+// that both loads and stores (e.g. ctx.Store(dst, ctx.Load(src)) on one
+// line) must not fold a write-write pair into a store-load report.
+type reportKey struct {
+	store, load sites.ID
+	storeStore  bool
+}
+
+// shardResult is one worker's private output: its report map, the keys in
+// first-appearance order (store-load and store-store tracked separately,
+// because the sequential reference runs all store-load buckets before any
+// store-store pairing), and its share of the pair counters.
+type shardResult struct {
+	reports map[reportKey]*Report
+	orderSL []reportKey
+	orderSS []reportKey
+	stats   pairStats
+}
+
+// pairStats is the per-shard slice of the Stats pair counters.
+type pairStats struct {
+	checked, hbFiltered, lockFiltered uint64
+}
+
+// analyzeShard runs the pairing loops of Algorithm 1 over one contiguous
+// range of cache-line buckets. It touches only shard-private state plus the
+// read-only interning tables, so shards run concurrently without locks.
+func analyzeShard(res *Result, cfg Config, buckets map[uint64]*storeLoadBucket, lines []uint64) *shardResult {
+	out := &shardResult{reports: make(map[reportKey]*Report)}
+	cmp := newComparer(res.Locksets, res.VClocks)
+	for _, line := range lines {
 		b := buckets[line]
 		for _, st := range b.stores {
 			for _, ld := range b.loads {
 				// A record spanning several lines appears in several
-				// buckets; dedupe such pairs (single-line pairs can only
-				// meet in one bucket and skip the map).
-				if spansLines(st.Addr, st.Size) || spansLines(ld.Addr, ld.Size) {
-					pk := pairKey{st: st, ld: ld}
-					if _, dup := seenPair[pk]; dup {
-						continue
-					}
-					seenPair[pk] = struct{}{}
+				// buckets. Process the pair only in the first bucket the two
+				// records share: that counts it exactly once for any
+				// sharding of the bucket list, without the cross-bucket
+				// dedup map the sequential code used to carry (buckets are
+				// walked in ascending line order, so "first common line"
+				// and "first encounter" coincide).
+				if (spansLines(st.Addr, st.Size) || spansLines(ld.Addr, ld.Size)) &&
+					firstCommonLine(st.Addr, ld.Addr) != line {
+					continue
 				}
 
-				res.Stats.PairsChecked++
+				out.stats.checked++
 				if st.TID == ld.TID { // Algorithm 1 line 16
 					continue
 				}
@@ -71,15 +184,15 @@ func analyze(res *Result, cfg Config) {
 					continue
 				}
 				if cfg.HBFilter && !cmp.mayRace(st, ld) { // line 17
-					res.Stats.PairsHBFiltered++
+					out.stats.hbFiltered++
 					continue
 				}
 				if !cmp.disjoint(st.Eff, ld.LS) { // line 18
-					res.Stats.PairsLockFiltered++
+					out.stats.lockFiltered++
 					continue
 				}
-				key := [2]int32{int32(st.Site), int32(ld.Site)}
-				rep := reports[key]
+				key := reportKey{store: st.Site, load: ld.Site}
+				rep := out.reports[key]
 				if rep == nil {
 					rep = &Report{
 						StoreSite:  st.Site,
@@ -91,48 +204,47 @@ func analyze(res *Result, cfg Config) {
 						LoadTID:    ld.TID,
 						EndKind:    st.EndKind,
 					}
-					reports[key] = rep
+					out.reports[key] = rep
+					out.orderSL = append(out.orderSL, key)
 				}
 				rep.Pairs++
 				rep.Weight += st.Count * ld.Count
 				if st.EndKind != EndPersist {
 					rep.Unpersisted = true
 					rep.EndKind = st.EndKind
+					// Keep the example fields describing one real pair: a
+					// report downgraded to a non-persist end kind must point
+					// at the access pair that exhibits it, not at the first
+					// (possibly persisted) pair's location.
+					rep.Addr = st.Addr
+					rep.StoreTID = st.TID
+					rep.LoadTID = ld.TID
 				}
 			}
 		}
 	}
 	if cfg.StoreStore {
-		analyzeStoreStore(res, cfg, buckets, lineKeys, cmp, reports)
+		analyzeStoreStoreShard(res, cfg, buckets, lines, cmp, out)
 	}
-
-	res.Reports = make([]Report, 0, len(reports))
-	for _, rep := range reports {
-		res.Reports = append(res.Reports, *rep)
-	}
+	return out
 }
 
-// analyzeStoreStore pairs store windows with each other — the write-write
-// checking of classic lockset analysis that HawkSet deliberately omits
-// (§3.1.1). Two windows race if they can overlap in time (neither window end
-// happens-before the other's start) and their effective locksets are
-// disjoint.
-func analyzeStoreStore(res *Result, cfg Config, buckets map[uint64]*storeLoadBucket, lineKeys []uint64, cmp *comparer, reports map[[2]int32]*Report) {
-	type ssKey struct{ a, b *StoreData }
-	seen := map[ssKey]struct{}{}
-	for _, line := range lineKeys {
+// analyzeStoreStoreShard pairs store windows with each other — the
+// write-write checking of classic lockset analysis that HawkSet deliberately
+// omits (§3.1.1). Two windows race if they can overlap in time (neither
+// window end happens-before the other's start) and their effective locksets
+// are disjoint.
+func analyzeStoreStoreShard(res *Result, cfg Config, buckets map[uint64]*storeLoadBucket, lines []uint64, cmp *comparer, out *shardResult) {
+	for _, line := range lines {
 		b := buckets[line]
 		for i, st := range b.stores {
 			for _, st2 := range b.stores[i+1:] {
 				if st.TID == st2.TID || !overlaps(st.Addr, st.Size, st2.Addr, st2.Size) {
 					continue
 				}
-				if spansLines(st.Addr, st.Size) || spansLines(st2.Addr, st2.Size) {
-					k := ssKey{st, st2}
-					if _, dup := seen[k]; dup {
-						continue
-					}
-					seen[k] = struct{}{}
+				if (spansLines(st.Addr, st.Size) || spansLines(st2.Addr, st2.Size)) &&
+					firstCommonLine(st.Addr, st2.Addr) != line {
+					continue
 				}
 				// Write-write racing is judged at the store instructions
 				// themselves (the classic HB data-race check): an overwrite
@@ -145,8 +257,8 @@ func analyzeStoreStore(res *Result, cfg Config, buckets map[uint64]*storeLoadBuc
 				if !cmp.disjoint(st.Eff, st2.Eff) {
 					continue
 				}
-				key := [2]int32{int32(st.Site), int32(st2.Site)}
-				rep := reports[key]
+				key := reportKey{store: st.Site, load: st2.Site, storeStore: true}
+				rep := out.reports[key]
 				if rep == nil {
 					rep = &Report{
 						StoreSite:  st.Site,
@@ -159,7 +271,8 @@ func analyzeStoreStore(res *Result, cfg Config, buckets map[uint64]*storeLoadBuc
 						EndKind:    st.EndKind,
 						StoreStore: true,
 					}
-					reports[key] = rep
+					out.reports[key] = rep
+					out.orderSS = append(out.orderSS, key)
 				}
 				rep.Pairs++
 				rep.Weight += st.Count * st2.Count
@@ -171,25 +284,93 @@ func analyzeStoreStore(res *Result, cfg Config, buckets map[uint64]*storeLoadBuc
 	}
 }
 
+// mergeShards folds the per-shard reports and counters into res, in shard
+// order. Because shards cover contiguous ascending bucket ranges, walking
+// shard 0's keys, then shard 1's, … visits reports in exactly the
+// first-appearance order of the sequential path, and applying a later
+// shard's aggregate is equivalent to replaying its pairs after the earlier
+// shard's — so the merged result is identical to the Workers=1 output.
+func mergeShards(res *Result, outs []*shardResult) {
+	for _, o := range outs {
+		res.Stats.PairsChecked += o.stats.checked
+		res.Stats.PairsHBFiltered += o.stats.hbFiltered
+		res.Stats.PairsLockFiltered += o.stats.lockFiltered
+	}
+
+	reports := make(map[reportKey]*Report)
+	var order []reportKey
+	merge := func(keys []reportKey, src map[reportKey]*Report) {
+		for _, k := range keys {
+			s := src[k]
+			dst, ok := reports[k]
+			if !ok {
+				cp := *s
+				reports[k] = &cp
+				order = append(order, k)
+				continue
+			}
+			dst.Pairs += s.Pairs
+			dst.Weight += s.Weight
+			switch {
+			case k.storeStore:
+				// Store-store reports keep the first contributing pair as
+				// the example; only the unpersisted flag accumulates.
+				dst.Unpersisted = dst.Unpersisted || s.Unpersisted
+			case s.Unpersisted:
+				// The later shard saw a non-persist pair: sequentially it
+				// would have downgraded the report last, so its example
+				// wins.
+				dst.Unpersisted = true
+				dst.EndKind = s.EndKind
+				dst.Addr = s.Addr
+				dst.StoreTID = s.StoreTID
+				dst.LoadTID = s.LoadTID
+			}
+		}
+	}
+	// All store-load reports first, then store-store — matching the
+	// sequential path, which finishes the store-load buckets before running
+	// the store-store pairing.
+	for _, o := range outs {
+		merge(o.orderSL, o.reports)
+	}
+	for _, o := range outs {
+		merge(o.orderSS, o.reports)
+	}
+
+	res.Reports = make([]Report, 0, len(order))
+	for _, k := range order {
+		res.Reports = append(res.Reports, *reports[k])
+	}
+}
+
 // storeLoadBucket groups the records of one cache line.
 type storeLoadBucket struct {
 	stores []*StoreData
 	loads  []*LoadData
 }
 
-type pairKey struct {
-	st *StoreData
-	ld *LoadData
+// firstCommonLine returns the lowest cache line covered by both access
+// ranges starting at aAddr and bAddr — the one bucket in which a
+// multi-line pair is processed.
+func firstCommonLine(aAddr, bAddr uint64) uint64 {
+	la, lb := pmem.LineOf(aAddr), pmem.LineOf(bAddr)
+	if lb > la {
+		return lb
+	}
+	return la
 }
 
 func spansLines(addr uint64, size uint32) bool {
 	if size == 0 {
 		return false
 	}
-	return pmem.LineOf(addr) != pmem.LineOf(addr+uint64(size)-1)
+	return pmem.LineOf(addr) != pmem.LineOf(lastAddrOf(addr, size))
 }
 
-// comparer memoizes interned-ID comparisons.
+// comparer memoizes interned-ID comparisons. Each analysis shard owns one:
+// the memo maps are written during pairing, while the underlying interning
+// tables are read-only by then.
 type comparer struct {
 	ls       *lockset.Table
 	vc       *vclock.Table

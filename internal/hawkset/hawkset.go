@@ -58,6 +58,13 @@ type Config struct {
 	// original tool (it requires instrumenting non-standardized PM
 	// allocators). Traces without alloc events are unaffected.
 	AllocAware bool
+	// Workers is the number of goroutines the PM-Aware Lockset Analysis
+	// (stage ③) shards its cache-line buckets across: 0 uses GOMAXPROCS,
+	// 1 runs the sequential reference path. Every shard keeps private memo
+	// tables, reports and counters, and the shards are merged
+	// deterministically, so reports, their order and the merged Stats are
+	// byte-identical for any worker count.
+	Workers int
 	// EADR analyzes the trace under extended-ADR semantics (§2.1): the
 	// persistent domain includes the cache, so a store is persistent the
 	// moment it becomes visible. No visible-but-unpersisted window exists

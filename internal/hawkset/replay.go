@@ -210,16 +210,37 @@ func (r *replayer) touch(tid int32, addr uint64) bool {
 	return p.published
 }
 
+// overlaps reports whether [aAddr, aAddr+aSize) and [bAddr, bAddr+bSize)
+// share a byte. The comparisons are in subtraction form: the textbook
+// aAddr < bAddr+bSize wraps when a range ends at the top of the address
+// space, turning a genuine overlap into a miss.
 func overlaps(aAddr uint64, aSize uint32, bAddr uint64, bSize uint32) bool {
-	return aAddr < bAddr+uint64(bSize) && bAddr < aAddr+uint64(aSize)
+	if aSize == 0 || bSize == 0 {
+		return false // an empty range overlaps nothing
+	}
+	if aAddr >= bAddr {
+		return aAddr-bAddr < uint64(bSize)
+	}
+	return bAddr-aAddr < uint64(aSize)
+}
+
+// lastAddrOf returns the last byte address covered by [addr, addr+size),
+// clamped to the top of the address space when addr+size-1 would wrap.
+// Zero-size accesses are treated as one byte, as in linesOf.
+func lastAddrOf(addr uint64, size uint32) uint64 {
+	if size == 0 {
+		size = 1
+	}
+	end := addr + uint64(size) - 1
+	if end < addr {
+		return ^uint64(0)
+	}
+	return end
 }
 
 // linesOf iterates the cache-line indices covered by [addr, addr+size).
 func linesOf(addr uint64, size uint32, fn func(line uint64)) {
-	if size == 0 {
-		size = 1
-	}
-	for l := pmem.LineOf(addr); l <= pmem.LineOf(addr+uint64(size)-1); l++ {
+	for l, last := pmem.LineOf(addr), pmem.LineOf(lastAddrOf(addr, size)); l <= last; l++ {
 		fn(l)
 	}
 }

@@ -64,12 +64,33 @@ func (s *Stream) Finish() *Result {
 	res.Stats.LocksetsInterned = s.rp.ls.Len()
 	res.Stats.VClocksInterned = s.rp.vc.Len()
 	analyze(res, s.cfg)
-	sort.Slice(res.Reports, func(i, j int) bool {
-		a, b := res.Reports[i], res.Reports[j]
-		if a.StoreFrame.String() != b.StoreFrame.String() {
-			return a.StoreFrame.String() < b.StoreFrame.String()
-		}
-		return a.LoadFrame.String() < b.LoadFrame.String()
-	})
+	sortReports(res.Reports)
 	return res
+}
+
+// sortReports orders reports by their rendered frames. The sort keys are
+// formatted once up front — recomputing Frame.String() inside the comparator
+// made the sort O(n log n) string builds — and the sort is stable, so frame
+// ties (e.g. a store-load and a store-store report over the same site pair)
+// keep analyze's deterministic first-appearance order.
+func sortReports(reports []Report) {
+	type sortKey struct{ store, load string }
+	keys := make([]sortKey, len(reports))
+	idx := make([]int, len(reports))
+	for i, r := range reports {
+		keys[i] = sortKey{store: r.StoreFrame.String(), load: r.LoadFrame.String()}
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		a, b := keys[idx[i]], keys[idx[j]]
+		if a.store != b.store {
+			return a.store < b.store
+		}
+		return a.load < b.load
+	})
+	sorted := make([]Report, len(reports))
+	for i, j := range idx {
+		sorted[i] = reports[j]
+	}
+	copy(reports, sorted)
 }

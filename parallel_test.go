@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"hawkset/internal/apps"
+	"hawkset/internal/hawkset"
+	"hawkset/internal/ycsb"
+)
+
+// TestParallelAnalysisMatchesSequentialOnApps runs the full pipeline over
+// real application workloads and checks that the sharded stage ③ produces
+// exactly the sequential result — same reports in the same order, same
+// stats — for several worker counts, including a count that does not divide
+// the bucket space evenly. The in-package differential tests cover crafted
+// corner traces; this one covers the report shapes real workloads produce.
+func TestParallelAnalysisMatchesSequentialOnApps(t *testing.T) {
+	for _, name := range []string{"Fast-Fair", "Memcached-pmem"} {
+		e, err := apps.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := 4000
+		if e.MaxOps > 0 && ops > e.MaxOps {
+			ops = e.MaxOps
+		}
+		w := ycsb.Generate(e.Spec(ops), 42)
+		rt, err := apps.Run(e, w, apps.RunConfig{Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		seq := hawkset.DefaultConfig()
+		seq.Workers = 1
+		want := hawkset.Analyze(rt.Trace, seq)
+		if len(want.Reports) == 0 {
+			t.Fatalf("%s: sequential analysis found no reports; differential test is vacuous", name)
+		}
+
+		for _, workers := range []int{2, 7, runtime.GOMAXPROCS(0)} {
+			cfg := seq
+			cfg.Workers = workers
+			got := hawkset.Analyze(rt.Trace, cfg)
+			if !reflect.DeepEqual(got.Reports, want.Reports) {
+				t.Errorf("%s: reports with Workers=%d differ from sequential\n got: %v\nwant: %v",
+					name, workers, got.Reports, want.Reports)
+			}
+			if got.Stats != want.Stats {
+				t.Errorf("%s: stats with Workers=%d differ from sequential\n got: %+v\nwant: %+v",
+					name, workers, got.Stats, want.Stats)
+			}
+		}
+	}
+}
