@@ -1,0 +1,111 @@
+// Command pmlint statically checks code written against the instrumented PM
+// runtime API (internal/pmrt) for the misuse classes HawkSet hunts
+// dynamically, plus reproduction-specific determinism hazards:
+//
+//	missing-persist   store with no reachable flush+fence/persist
+//	flush-no-fence    flush that can reach function exit unfenced
+//	lock-imbalance    lock/unlock mismatch along some path
+//	empty-lockset     lock-free access to a field locked elsewhere
+//	scheduler-bypass  native Go concurrency inside internal/apps/...
+//
+// Usage:
+//
+//	pmlint ./...                                 # lint the whole module
+//	pmlint -baseline pmlint.baseline ./...       # fail only on NEW findings
+//	pmlint -json ./...                           # machine-readable output
+//	pmlint -write-baseline pmlint.baseline ./... # record current findings
+//
+// Exit status: 0 = no (new) findings, 1 = findings, 2 = usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"hawkset/internal/pmlint"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "baseline file of known findings; only new findings fail")
+		writePath    = flag.String("write-baseline", "", "write current findings to this baseline file and exit")
+		jsonOut      = flag.Bool("json", false, "emit findings as JSON")
+		appsPrefix   = flag.String("apps-prefix", "hawkset/internal/apps", "package-path prefix where scheduler-bypass applies")
+		verbose      = flag.Bool("v", false, "also list baseline-suppressed findings and stale baseline entries")
+	)
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	findings, err := pmlint.Run(wd, patterns, pmlint.Config{AppsPrefix: *appsPrefix})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *writePath != "" {
+		f, err := os.Create(*writePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pmlint.WriteBaseline(f, findings); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pmlint: wrote %d findings to %s\n", len(findings), *writePath)
+		return
+	}
+
+	toShow := findings
+	if *baselinePath != "" {
+		bl, err := pmlint.ReadBaseline(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		var suppressed []pmlint.Finding
+		toShow, suppressed = bl.Filter(findings)
+		if *verbose {
+			for _, f := range suppressed {
+				fmt.Fprintf(os.Stderr, "pmlint: suppressed: %s\n", f)
+			}
+			for _, k := range bl.Unused(findings) {
+				fmt.Fprintf(os.Stderr, "pmlint: stale baseline entry: %s\n", k)
+			}
+		}
+	}
+
+	if *jsonOut {
+		if toShow == nil {
+			toShow = []pmlint.Finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(toShow); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range toShow {
+			fmt.Println(f)
+		}
+	}
+	if len(toShow) > 0 {
+		if *baselinePath != "" {
+			fmt.Fprintf(os.Stderr, "pmlint: %d new finding(s) not in baseline %s\n", len(toShow), *baselinePath)
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pmlint:", err)
+	os.Exit(2)
+}

@@ -30,6 +30,18 @@ const LineSize = 64
 // LineOf returns the line index containing addr.
 func LineOf(addr Addr) uint64 { return addr / LineSize }
 
+// LastByte returns the address of the last byte of [addr, addr+size),
+// clamped to the top of the address space when addr+size-1 would wrap. The
+// addition form addr+size-1 turns a range ending at the top of the address
+// space into a tiny (or enormous) bound, so every line-iteration loop uses
+// this subtraction-form helper instead. size must be nonzero.
+func LastByte(addr Addr, size uint64) Addr {
+	if size-1 > ^uint64(0)-addr {
+		return ^uint64(0)
+	}
+	return addr + size - 1
+}
+
 // Options configure a Pool.
 type Options struct {
 	// EADR models extended Asynchronous DRAM Refresh: the persistent domain
@@ -105,7 +117,9 @@ func New(size uint64, opts Options) *Pool {
 func (p *Pool) Size() uint64 { return uint64(len(p.volatile)) }
 
 func (p *Pool) check(addr Addr, n int) {
-	if int(addr)+n > len(p.volatile) {
+	// Subtraction form: int(addr)+n wraps negative for addresses near the
+	// top of the address space and silently passes the comparison.
+	if n < 0 || addr > p.Size() || uint64(n) > p.Size()-addr {
 		panic(fmt.Sprintf("pmem: access [%#x,%#x) out of pool bounds %#x", addr, addr+uint64(n), len(p.volatile)))
 	}
 }
@@ -115,6 +129,9 @@ func (p *Pool) check(addr Addr, n int) {
 // dirty-read attribution.
 func (p *Pool) Store(tid int32, addr Addr, data []byte, site int32) {
 	p.check(addr, len(data))
+	if len(data) == 0 {
+		return
+	}
 	p.tick()
 	copy(p.volatile[addr:], data)
 	if p.opts.EADR {
@@ -127,7 +144,7 @@ func (p *Pool) Store(tid int32, addr Addr, data []byte, site int32) {
 			p.lastSite[addr+uint64(i)] = site
 		}
 	}
-	for l := LineOf(addr); l <= LineOf(addr+uint64(len(data))-1); l++ {
+	for l, last := LineOf(addr), LineOf(LastByte(addr, uint64(len(data)))); l <= last; l++ {
 		p.dirty[l] = struct{}{}
 		if p.opts.EvictAfter > 0 {
 			p.evictQueue = append(p.evictQueue, evictEntry{line: l, at: p.clock})
@@ -201,8 +218,11 @@ func (p *Pool) FlushRange(tid int32, addr Addr, size uint64) {
 	if size == 0 {
 		return
 	}
+	if size > uint64(^uint(0)>>1) {
+		panic(fmt.Sprintf("pmem: FlushRange size %#x overflows", size))
+	}
 	p.check(addr, int(size))
-	for l := LineOf(addr); l <= LineOf(addr+size-1); l++ {
+	for l, last := LineOf(addr), LineOf(LastByte(addr, size)); l <= last; l++ {
 		p.Flush(tid, l*LineSize)
 	}
 }
@@ -225,7 +245,10 @@ func (p *Pool) Fence(tid int32) {
 	// Re-check only the lines this fence touched; lines not covered by one
 	// of its flushes cannot have become clean.
 	for _, pf := range pfs {
-		last := LineOf(pf.addr + uint64(len(pf.data)) - 1)
+		if len(pf.data) == 0 {
+			continue
+		}
+		last := LineOf(LastByte(pf.addr, uint64(len(pf.data))))
 		for l := LineOf(pf.addr); l <= last; l++ {
 			if _, dirty := p.dirty[l]; !dirty {
 				continue

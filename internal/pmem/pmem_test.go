@@ -325,3 +325,88 @@ func TestReboot(t *testing.T) {
 		t.Fatal("pre-crash pending flush landed after reboot")
 	}
 }
+
+// --- address-space-top wraparound regressions (same bug class PR 1 fixed in
+// --- the analysis's overlaps/linesOf/spansLines) ---
+
+func TestLastByteClamps(t *testing.T) {
+	max := ^uint64(0)
+	cases := []struct{ addr, size, want uint64 }{
+		{0, 1, 0},
+		{100, 8, 107},
+		{max, 1, max},           // addition form would wrap to 0
+		{max - 63, 64, max},     // range ending exactly at the top
+		{max - 63, 128, max},    // overlong range clamps instead of wrapping
+		{max, max, max},         // pathological size clamps
+		{4096 - 8, 8, 4096 - 1}, // in-pool range ending at pool top
+	}
+	for _, c := range cases {
+		if got := LastByte(c.addr, c.size); got != c.want {
+			t.Errorf("LastByte(%#x, %#x) = %#x, want %#x", c.addr, c.size, got, c.want)
+		}
+	}
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected out-of-bounds panic, got none", what)
+		}
+	}()
+	fn()
+}
+
+// TestTopOfAddressSpaceAccessPanics: before the subtraction-form bounds, an
+// access near the top of the 64-bit address space wrapped int(addr)+n
+// negative inside check and the addition-form line loop in FlushRange wrapped
+// last below first — a silent no-op instead of a bounds panic.
+func TestTopOfAddressSpaceAccessPanics(t *testing.T) {
+	max := ^uint64(0)
+	p := New(4096, Options{})
+	mustPanic(t, "Store at top of address space", func() {
+		p.Store(1, max-7, make([]byte, 8), 0)
+	})
+	mustPanic(t, "FlushRange at top of address space", func() {
+		p.FlushRange(1, max-63, 128)
+	})
+	mustPanic(t, "FlushRange wrapping to zero", func() {
+		p.FlushRange(1, max-127, 128) // addr+size == 0 exactly
+	})
+	mustPanic(t, "Load at top of address space", func() {
+		buf := make([]byte, 16)
+		p.Load(max-3, buf)
+	})
+	mustPanic(t, "FlushRange size overflowing int", func() {
+		p.FlushRange(1, 0, max)
+	})
+}
+
+// TestRangeEndingAtPoolTop: ranges whose last byte is the pool's final byte
+// must round-trip through store/flush/fence, including the Fence-side
+// dirty-line recheck loop.
+func TestRangeEndingAtPoolTop(t *testing.T) {
+	const size = 4096
+	p := New(size, Options{})
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	p.Store(1, size-8, data, 0)
+	p.FlushRange(1, size-8, 8)
+	p.Fence(1)
+	if !p.Persisted(size-8, 8) {
+		t.Fatal("range ending at pool top not persisted after flush+fence")
+	}
+	if img := p.Crash(); !bytes.Equal(img[size-8:], data) {
+		t.Fatalf("crash image tail = %v, want %v", img[size-8:], data)
+	}
+	if p.DirtyLines() != 0 {
+		t.Fatalf("DirtyLines = %d after fence recheck, want 0", p.DirtyLines())
+	}
+}
+
+func TestEmptyStoreIsNoOp(t *testing.T) {
+	p := New(4096, Options{})
+	p.Store(1, 0, nil, 0) // must not wrap the line loop via size-1
+	if p.DirtyLines() != 0 {
+		t.Fatalf("empty store dirtied %d lines", p.DirtyLines())
+	}
+}

@@ -1,0 +1,656 @@
+package pmlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Config configures an analysis run.
+type Config struct {
+	// AppsPrefix is the package-path prefix under which the
+	// scheduler-bypass check applies (applications must use pmrt
+	// primitives, never native Go concurrency, or deterministic replay
+	// breaks). Default: hawkset/internal/apps.
+	AppsPrefix string
+	// ExcludePkgs lists import paths the PM-misuse checks (missing-persist,
+	// flush-no-fence, static-lockset) skip. The pmrt runtime itself is
+	// always excluded: it implements the primitives rather than using them.
+	ExcludePkgs []string
+}
+
+// Finding is one analyzer diagnostic. The JSON field set is part of the CI
+// interface and covered by a format-stability test; do not rename fields.
+type Finding struct {
+	File    string `json:"file"` // module-relative, slash-separated
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// String renders the stable machine-readable line format.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Check, f.Message)
+}
+
+// Key is the line-number-free form used for baseline matching, so recorded
+// findings survive unrelated edits that shift line numbers.
+func (f Finding) Key() string {
+	return fmt.Sprintf("%s: [%s] %s", f.File, f.Check, f.Message)
+}
+
+// sortFindings orders findings deterministically.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+}
+
+// opKind classifies a recognized pmrt.Ctx operation (or a call into another
+// analyzed function).
+type opKind int
+
+const (
+	opNone    opKind = iota
+	opStore          // Store, Store8, Store4, Store1 — cached store, needs flush+fence
+	opNTStore        // NTStore8 — bypasses cache, needs fence only
+	opCAS            // CAS8 — lock-free store on success, needs flush+fence
+	opZero           // Zero — untraced cached store, needs flush+fence
+	opLoad           // Load, Load8, Load4, Load1
+	opFlush          // Flush
+	opFence          // Fence
+	opPersist        // Persist — flush every line + fence
+	opLock           // Lock, RLock, WLock, SpinLock
+	opUnlock         // Unlock, RUnlock, WUnlock, SpinUnlock
+	opCallFn         // call to another analyzed function
+	opPanic          // panic(...) — path terminates abnormally
+)
+
+// isStoreKind reports whether k writes PM.
+func isStoreKind(k opKind) bool {
+	return k == opStore || k == opNTStore || k == opCAS || k == opZero
+}
+
+// ctxMethodOps maps pmrt.Ctx method names to op kinds. TryLock is absent on
+// purpose: its acquisition is conditional on the return value, which a
+// path-insensitive lockset would model wrong in both directions.
+var ctxMethodOps = map[string]opKind{
+	"Store": opStore, "Store8": opStore, "Store4": opStore, "Store1": opStore,
+	"NTStore8": opNTStore,
+	"CAS8":     opCAS,
+	"Zero":     opZero,
+	"Load":     opLoad, "Load8": opLoad, "Load4": opLoad, "Load1": opLoad,
+	"Flush":   opFlush,
+	"Fence":   opFence,
+	"Persist": opPersist,
+	"Lock":    opLock, "RLock": opLock, "WLock": opLock, "SpinLock": opLock,
+	"Unlock": opUnlock, "RUnlock": opUnlock, "WUnlock": opUnlock, "SpinUnlock": opUnlock,
+}
+
+// opCall is one recognized operation occurrence, a node payload in the CFG.
+type opCall struct {
+	kind opKind
+	call *ast.CallExpr
+	pos  token.Pos
+	// addrBase is the normalized base of the address expression (stores,
+	// loads, flush, persist); lockExpr the normalized lock expression
+	// (lock/unlock).
+	addrBase string
+	// addrAlts holds the argument bases when the address expression is an
+	// address-computing helper call (keyAddr(buf, i) → {buf, i}): a persist
+	// of the underlying object (Persist(buf, n)) covers the store.
+	addrAlts []string
+	lockExpr string
+	// callee and args are set for opCallFn: the target funcInfo and the
+	// normalized base of every value argument (aligned with callee params).
+	callee *funcInfo
+	args   []string
+	// recvIsRecv marks a method call whose receiver is the enclosing
+	// method's own receiver, enabling $recv-rooted summary translation.
+	recvIsRecv bool
+}
+
+// funcInfo is the per-function analysis unit: a declared function, method,
+// or function literal with its CFG and computed summaries.
+type funcInfo struct {
+	pkg  *Package
+	node ast.Node // *ast.FuncDecl or *ast.FuncLit
+	body *ast.BlockStmt
+	name string // diagnostic name, e.g. (*Index).putKey or func@wipe.go:17
+	recv string // receiver identifier name ("" for plain funcs/lits)
+	// recvType is the receiver's named type ("" otherwise); used to group
+	// $recv-rooted accesses across methods of the same type.
+	recvType string
+	params   []string // parameter identifier names, in order
+	// isClosure marks function literals: their bodies share the enclosing
+	// function's scope, so summary bases rooted at captured variables
+	// translate verbatim to (same-scope) call sites.
+	isClosure bool
+
+	cfg     *cfgGraph
+	callers []*opCall // call sites in other analyzed functions
+
+	// Summaries (computed to fixpoint across the call graph). Bases are
+	// normalized expressions rooted at a parameter name or at $recv.
+	fences        bool            // some path performs a fence (Fence or Persist)
+	leaksFlush    bool            // some path carries a flush to exit with no fence
+	persistsBases map[string]bool // bases persisted (with fence) on some path
+	storesBases   map[string]bool // bases stored to but never persisted locally
+	lockBlowup    bool            // lockset state exceeded the cap; lockset checks skipped
+}
+
+// analysis is the whole-run state.
+type analysis struct {
+	cfg   Config
+	l     *Loader
+	pkgs  []*Package
+	funcs []*funcInfo
+	// byObj resolves a types.Func (or the types.Var a closure is bound to)
+	// to its analyzed funcInfo for call linking.
+	byObj    map[types.Object]*funcInfo
+	litInfo  map[*ast.FuncLit]*funcInfo
+	findings []Finding
+}
+
+// Run loads the packages named by patterns (resolved against the module
+// containing dir) and runs every check, returning sorted findings.
+func Run(dir string, patterns []string, cfg Config) ([]Finding, error) {
+	l, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := l.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, d := range dirs {
+		p, err := l.LoadDir(d)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return Analyze(l, pkgs, cfg)
+}
+
+// Analyze runs every check over the given loaded packages.
+func Analyze(l *Loader, pkgs []*Package, cfg Config) ([]Finding, error) {
+	if cfg.AppsPrefix == "" {
+		cfg.AppsPrefix = "hawkset/internal/apps"
+	}
+	a := &analysis{
+		cfg: cfg, l: l, pkgs: pkgs,
+		byObj:   make(map[types.Object]*funcInfo),
+		litInfo: make(map[*ast.FuncLit]*funcInfo),
+	}
+	a.collectFuncs()
+	a.linkCalls()
+	a.checkPersist()  // missing-persist + flush-no-fence (shared summaries)
+	a.checkLocksets() // lock-imbalance + empty-lockset
+	a.checkBypass()   // scheduler-bypass
+	sortFindings(a.findings)
+	return dedupe(a.findings), nil
+}
+
+// dedupe removes identical findings (a deferred op is replayed at every
+// function exit, so one source op can occupy several CFG nodes).
+func dedupe(fs []Finding) []Finding {
+	out := fs[:0]
+	for i, f := range fs {
+		if i > 0 && f == fs[i-1] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// excluded reports whether the PM-misuse checks skip pkg.
+func (a *analysis) excluded(pkg *Package) bool {
+	if pkg.Path == PmrtPath {
+		return true
+	}
+	for _, p := range a.cfg.ExcludePkgs {
+		if pkg.Path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// posOf converts a token.Pos to a module-relative finding location.
+func (a *analysis) posOf(pos token.Pos) (string, int, int) {
+	p := a.l.Fset.Position(pos)
+	rel, err := filepath.Rel(a.l.ModuleDir, p.Filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		rel = p.Filename
+	}
+	return filepath.ToSlash(rel), p.Line, p.Column
+}
+
+func (a *analysis) report(pos token.Pos, check, format string, args ...any) {
+	file, line, col := a.posOf(pos)
+	a.findings = append(a.findings, Finding{
+		File: file, Line: line, Col: col,
+		Check:   check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// collectFuncs builds a funcInfo (with CFG) for every function declaration
+// and function literal in the analyzed packages.
+func (a *analysis) collectFuncs() {
+	for _, pkg := range a.pkgs {
+		if a.excluded(pkg) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fi := a.newFuncInfo(pkg, fd, fd.Body)
+				if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+					a.byObj[obj] = fi
+				}
+				// Function literals inside the declaration become their own
+				// analysis units (e.g. Spawn bodies are the spawned thread's
+				// code, not part of the spawning function's control flow).
+				a.collectLits(pkg, fd.Body)
+			}
+		}
+	}
+	// Bind `name := func(...){...}` closures to their variable so direct
+	// calls through the name resolve like ordinary function calls.
+	for _, pkg := range a.pkgs {
+		if a.excluded(pkg) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok || len(as.Lhs) != len(as.Rhs) {
+					return true
+				}
+				for i := range as.Rhs {
+					lit, ok := as.Rhs[i].(*ast.FuncLit)
+					if !ok {
+						continue
+					}
+					id, ok := as.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue
+					}
+					fi := a.litInfo[lit]
+					if fi == nil {
+						continue
+					}
+					if obj := pkg.Info.Defs[id]; obj != nil {
+						a.byObj[obj] = fi
+					} else if obj := pkg.Info.Uses[id]; obj != nil {
+						a.byObj[obj] = fi
+					}
+				}
+				return true
+			})
+		}
+	}
+	// CFGs are built after all funcInfos exist so call linking can resolve
+	// forward references.
+	for _, fi := range a.funcs {
+		fi.cfg = a.buildCFG(fi)
+	}
+}
+
+func (a *analysis) collectLits(pkg *Package, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			a.newFuncInfo(pkg, lit, lit.Body)
+			// Nested literals are found by the recursive Inspect of the
+			// literal's own body during this walk; don't double-visit.
+		}
+		return true
+	})
+}
+
+func (a *analysis) newFuncInfo(pkg *Package, node ast.Node, body *ast.BlockStmt) *funcInfo {
+	fi := &funcInfo{
+		pkg:           pkg,
+		node:          node,
+		body:          body,
+		persistsBases: make(map[string]bool),
+		storesBases:   make(map[string]bool),
+	}
+	switch n := node.(type) {
+	case *ast.FuncDecl:
+		fi.name = n.Name.Name
+		if n.Recv != nil && len(n.Recv.List) > 0 {
+			r := n.Recv.List[0]
+			if len(r.Names) > 0 {
+				fi.recv = r.Names[0].Name
+			}
+			fi.recvType = recvTypeName(r.Type)
+			fi.name = "(" + typeExprString(r.Type) + ")." + n.Name.Name
+		}
+		fi.params = paramNames(n.Type)
+	case *ast.FuncLit:
+		file, line, _ := a.posOf(n.Pos())
+		fi.name = fmt.Sprintf("func@%s:%d", filepath.Base(file), line)
+		fi.params = paramNames(n.Type)
+		fi.isClosure = true
+		a.litInfo[n] = fi
+	}
+	a.funcs = append(a.funcs, fi)
+	return fi
+}
+
+func paramNames(ft *ast.FuncType) []string {
+	var out []string
+	if ft.Params == nil {
+		return out
+	}
+	for _, f := range ft.Params.List {
+		if len(f.Names) == 0 {
+			out = append(out, "_")
+			continue
+		}
+		for _, n := range f.Names {
+			out = append(out, n.Name)
+		}
+	}
+	return out
+}
+
+func recvTypeName(t ast.Expr) string {
+	switch e := t.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(e.X)
+	}
+	return ""
+}
+
+func typeExprString(t ast.Expr) string {
+	switch e := t.(type) {
+	case *ast.StarExpr:
+		return "*" + typeExprString(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr:
+		return typeExprString(e.X)
+	}
+	return "?"
+}
+
+// linkCalls records, for every opCallFn node, the callee's funcInfo and
+// fills the callee's callers list.
+func (a *analysis) linkCalls() {
+	for _, fi := range a.funcs {
+		for _, n := range fi.cfg.nodes {
+			if n.op != nil && n.op.kind == opCallFn && n.op.callee != nil {
+				n.op.callee.callers = append(n.op.callee.callers, n.op)
+			}
+		}
+	}
+}
+
+// classify recognizes a call expression inside fi: a pmrt.Ctx operation, a
+// call to another analyzed function, or panic. Returns nil for everything
+// else.
+func (a *analysis) classify(fi *funcInfo, call *ast.CallExpr) *opCall {
+	info := fi.pkg.Info
+	// panic(...) terminates the path.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return &opCall{kind: opPanic, call: call, pos: call.Pos()}
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		// Package-qualified calls (pkg.Fn) are plain uses, not selections.
+		if _, isSel := info.Selections[sel]; !isSel {
+			if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+				if callee, ok := a.byObj[fn]; ok {
+					oc := &opCall{kind: opCallFn, call: call, pos: call.Pos(), callee: callee}
+					for _, arg := range call.Args {
+						oc.args = append(oc.args, fi.normBase(arg))
+					}
+					return oc
+				}
+			}
+		}
+		if s, ok := info.Selections[sel]; ok {
+			if fn, ok := s.Obj().(*types.Func); ok {
+				if k, isOp := a.ctxOp(fn, sel.Sel.Name); isOp {
+					oc := &opCall{kind: k, call: call, pos: call.Pos()}
+					switch k {
+					case opStore, opNTStore, opCAS, opZero, opLoad, opFlush, opPersist:
+						if len(call.Args) > 0 {
+							oc.addrBase = fi.normBase(call.Args[0])
+							if inner, ok := astUnparen(baseExpr(call.Args[0])).(*ast.CallExpr); ok {
+								for _, arg := range inner.Args {
+									if b := fi.normBase(arg); b != "" {
+										oc.addrAlts = append(oc.addrAlts, b)
+									}
+								}
+							}
+						}
+					case opLock, opUnlock:
+						if len(call.Args) > 0 {
+							oc.lockExpr = fi.normExpr(call.Args[0])
+						}
+					}
+					return oc
+				}
+				if callee, ok := a.byObj[fn]; ok {
+					oc := &opCall{kind: opCallFn, call: call, pos: call.Pos(), callee: callee}
+					for _, arg := range call.Args {
+						oc.args = append(oc.args, fi.normBase(arg))
+					}
+					if id, ok := astUnparen(sel.X).(*ast.Ident); ok && fi.recv != "" && id.Name == fi.recv {
+						oc.recvIsRecv = true
+					}
+					return oc
+				}
+			}
+		}
+	}
+	if id, ok := astUnparen(call.Fun).(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil {
+			if callee, ok := a.byObj[obj]; ok {
+				oc := &opCall{kind: opCallFn, call: call, pos: call.Pos(), callee: callee}
+				for _, arg := range call.Args {
+					oc.args = append(oc.args, fi.normBase(arg))
+				}
+				return oc
+			}
+		}
+	}
+	return nil
+}
+
+// ctxOp reports whether fn is a pmrt.Ctx operation method.
+func (a *analysis) ctxOp(fn *types.Func, name string) (opKind, bool) {
+	k, ok := ctxMethodOps[name]
+	if !ok {
+		return opNone, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return opNone, false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return opNone, false
+	}
+	if named.Obj().Pkg().Path() != PmrtPath || named.Obj().Name() != "Ctx" {
+		return opNone, false
+	}
+	return k, true
+}
+
+func astUnparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// --- expression normalization -------------------------------------------
+
+// normExpr renders e with the enclosing method's receiver identifier
+// replaced by $recv, giving a spelling that is comparable across methods of
+// the same type.
+func (fi *funcInfo) normExpr(e ast.Expr) string {
+	var b strings.Builder
+	fi.render(&b, e)
+	return b.String()
+}
+
+// normBase renders the base of an address expression: parentheses stripped
+// and trailing "+ offset" / "- offset" arithmetic dropped, so addr, addr+8
+// and addr+hdr*2 all normalize to addr. Heuristic by design — the analyzer
+// works at the granularity the dynamic tool resolves with real addresses.
+func (fi *funcInfo) normBase(e ast.Expr) string {
+	return fi.normExpr(baseExpr(e))
+}
+
+func baseExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD || x.Op == token.SUB {
+				e = x.X
+				continue
+			}
+			return e
+		default:
+			return e
+		}
+	}
+}
+
+func (fi *funcInfo) render(b *strings.Builder, e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if fi.recv != "" && x.Name == fi.recv {
+			b.WriteString("$recv")
+		} else {
+			b.WriteString(x.Name)
+		}
+	case *ast.SelectorExpr:
+		fi.render(b, x.X)
+		b.WriteByte('.')
+		b.WriteString(x.Sel.Name)
+	case *ast.IndexExpr:
+		fi.render(b, x.X)
+		b.WriteByte('[')
+		fi.render(b, x.Index)
+		b.WriteByte(']')
+	case *ast.ParenExpr:
+		fi.render(b, x.X)
+	case *ast.StarExpr:
+		b.WriteByte('*')
+		fi.render(b, x.X)
+	case *ast.UnaryExpr:
+		b.WriteString(x.Op.String())
+		fi.render(b, x.X)
+	case *ast.BinaryExpr:
+		fi.render(b, x.X)
+		b.WriteString(x.Op.String())
+		fi.render(b, x.Y)
+	case *ast.BasicLit:
+		b.WriteString(x.Value)
+	case *ast.CallExpr:
+		fi.render(b, x.Fun)
+		b.WriteByte('(')
+		for i, arg := range x.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fi.render(b, arg)
+		}
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "<%T>", e)
+	}
+}
+
+// rootIdent returns the leading identifier of a normalized base ("$recv" of
+// "$recv.segs", "addr" of "addr", "" when the base is not identifier-rooted).
+func rootIdent(base string) string {
+	for i := 0; i < len(base); i++ {
+		c := base[i]
+		if c == '.' || c == '[' || c == '(' || c == '+' || c == '-' || c == '*' {
+			return base[:i]
+		}
+	}
+	return base
+}
+
+// paramIndex returns the index of name in params, or -1.
+func paramIndex(params []string, name string) int {
+	for i, p := range params {
+		if p == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// translateBase maps a callee-summary base to the caller's spelling at a
+// given call site: parameter-rooted bases substitute the corresponding
+// argument's base; $recv-rooted bases carry over verbatim when the call's
+// receiver is the caller's own receiver; closure bases rooted at captured
+// variables carry over verbatim (the call site shares the defining scope).
+// Returns "" when untranslatable.
+func translateBase(site *opCall, callee *funcInfo, base string) string {
+	root := rootIdent(base)
+	if i := paramIndex(callee.params, root); i >= 0 {
+		if i >= len(site.args) || site.args[i] == "" {
+			return ""
+		}
+		return site.args[i] + base[len(root):]
+	}
+	if root == "$recv" {
+		if site.recvIsRecv {
+			return base
+		}
+		return ""
+	}
+	if callee.isClosure {
+		return base
+	}
+	return ""
+}

@@ -1,0 +1,105 @@
+package pmlint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Baseline support: a committed file of known findings so CI fails only on
+// NEW findings. Entries are the line-number-free Finding.Key form
+// ("file: [check] message"), which survives unrelated edits that shift line
+// numbers; '#' starts a comment and blank lines are ignored. The intended
+// workflow mirrors every mature linter's ratchet: triage a finding, either
+// fix it or record it with a comment explaining why it is intentional (the
+// application suite deliberately embeds the paper's Table 2 bugs).
+
+// Baseline is a parsed baseline file.
+type Baseline struct {
+	entries map[string]int // key -> recorded count
+}
+
+// ReadBaseline parses the baseline at path. A missing file yields an empty
+// baseline (first-run convenience), not an error.
+func ReadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{entries: make(map[string]int)}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return b, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		b.entries[line]++
+	}
+	return b, sc.Err()
+}
+
+// Filter splits findings into new (not in the baseline) and suppressed.
+// Multiple findings sharing a key are all suppressed by one entry: the key
+// already pins file, check and message, so duplicates differ only by line.
+func (b *Baseline) Filter(fs []Finding) (newFindings, suppressed []Finding) {
+	for _, f := range fs {
+		if _, ok := b.entries[f.Key()]; ok {
+			suppressed = append(suppressed, f)
+		} else {
+			newFindings = append(newFindings, f)
+		}
+	}
+	return newFindings, suppressed
+}
+
+// Unused returns baseline entries that matched no finding — stale entries
+// worth pruning (reported as information, never an error: a fixed finding
+// must not break CI).
+func (b *Baseline) Unused(fs []Finding) []string {
+	used := make(map[string]bool)
+	for _, f := range fs {
+		used[f.Key()] = true
+	}
+	var out []string
+	for k := range b.entries {
+		if !used[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteBaseline writes findings as a fresh baseline file. Hand-written
+// comments do not survive regeneration; the header says so.
+func WriteBaseline(w io.Writer, fs []Finding) error {
+	if _, err := fmt.Fprintf(w, "# pmlint baseline — known findings; CI fails only on findings not listed here.\n"+
+		"# Format: file: [check] message   (line numbers omitted so entries survive edits)\n"+
+		"# Regenerate with: go run ./cmd/pmlint -write-baseline <path> ./...\n"); err != nil {
+		return err
+	}
+	seen := make(map[string]bool)
+	keys := make([]string, 0, len(fs))
+	for _, f := range fs {
+		k := f.Key()
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintln(w, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package pmlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Scheduler-bypass check: simulated applications must express ALL
+// concurrency and timing through pmrt primitives (Spawn/Join, Mutex/RWMutex/
+// SpinLock, Yield/Park). Native Go concurrency — goroutines, channels,
+// sync.*, wall-clock sleeps — executes outside the cooperative scheduler:
+// it neither yields at instrumented points nor appears in the trace, so a
+// single bypassing operation silently destroys the deterministic-replay
+// guarantee every experiment and regression test depends on.
+
+// checkBypass walks packages under cfg.AppsPrefix and flags native
+// concurrency constructs.
+func (a *analysis) checkBypass() {
+	for _, pkg := range a.pkgs {
+		if pkg.Path != a.cfg.AppsPrefix && !strings.HasPrefix(pkg.Path, a.cfg.AppsPrefix+"/") {
+			continue
+		}
+		for _, file := range pkg.Files {
+			a.bypassFile(pkg, file)
+		}
+	}
+}
+
+// blockingTimeFuncs are time-package calls that stall or fork execution
+// outside the scheduler. (Pure reads like time.Now are nondeterministic too
+// but cannot reorder PM operations; they stay out of scope.)
+var blockingTimeFuncs = map[string]bool{
+	"Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTicker": true, "NewTimer": true,
+}
+
+func (a *analysis) bypassFile(pkg *Package, file *ast.File) {
+	info := pkg.Info
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			a.report(x.Pos(), "scheduler-bypass",
+				"go statement bypasses the cooperative scheduler; use pmrt.Ctx.Spawn")
+		case *ast.SendStmt:
+			a.report(x.Pos(), "scheduler-bypass",
+				"channel send bypasses the cooperative scheduler; use pmrt primitives")
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				a.report(x.Pos(), "scheduler-bypass",
+					"channel receive bypasses the cooperative scheduler; use pmrt primitives")
+			}
+		case *ast.SelectStmt:
+			a.report(x.Pos(), "scheduler-bypass",
+				"select statement bypasses the cooperative scheduler; use pmrt primitives")
+		case *ast.ChanType:
+			a.report(x.Pos(), "scheduler-bypass",
+				"channel type in application code; thread communication must go through pmrt")
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[x.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					a.report(x.Pos(), "scheduler-bypass",
+						"range over channel bypasses the cooperative scheduler; use pmrt primitives")
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := astUnparen(x.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					a.report(x.Pos(), "scheduler-bypass",
+						"close of channel bypasses the cooperative scheduler; use pmrt primitives")
+				}
+			}
+		case *ast.SelectorExpr:
+			pkgName, fn := qualifiedUse(info, x)
+			switch {
+			case pkgName == "sync" || strings.HasPrefix(pkgName, "sync/"):
+				a.report(x.Pos(), "scheduler-bypass",
+					"use of %s.%s bypasses the cooperative scheduler; use pmrt.Mutex/RWMutex/SpinLock", pkgName, fn)
+			case pkgName == "time" && blockingTimeFuncs[fn]:
+				a.report(x.Pos(), "scheduler-bypass",
+					"time.%s stalls outside the cooperative scheduler and breaks deterministic replay", fn)
+			}
+		}
+		return true
+	})
+}
+
+// qualifiedUse resolves a selector to (imported package path, member name)
+// when its base is a package name; ("", "") otherwise.
+func qualifiedUse(info *types.Info, sel *ast.SelectorExpr) (string, string) {
+	id, ok := astUnparen(sel.X).(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}

@@ -1,0 +1,394 @@
+package pmlint
+
+import (
+	"go/ast"
+)
+
+// cfgNode is one node of an intraprocedural control-flow graph. Nodes carry
+// at most one recognized operation; synthetic nodes (entry, exit, merges)
+// carry none.
+type cfgNode struct {
+	op    *opCall
+	succs []*cfgNode
+	idx   int
+}
+
+// cfgGraph is a function's CFG. Statements are linearized so that every
+// recognized pmrt operation (and every call into another analyzed function)
+// occupies its own node, in source-evaluation order within a statement
+// (pre-order over the expression tree — close enough for straight-line
+// argument lists, which is what the instrumented apps write).
+type cfgGraph struct {
+	entry, exit *cfgNode
+	nodes       []*cfgNode
+}
+
+// cfgBuilder threads loop/branch targets and the deferred-op list through a
+// syntax-directed build.
+type cfgBuilder struct {
+	a  *analysis
+	fi *funcInfo
+	g  *cfgGraph
+
+	// breakTargets / continueTargets are stacks; labeled variants index by
+	// label name.
+	breakTargets    []*cfgNode
+	continueTargets []*cfgNode
+	labeledBreak    map[string]*cfgNode
+	labeledContinue map[string]*cfgNode
+	// pendingLabel is the label naming the next loop/switch statement.
+	pendingLabel string
+
+	// deferred collects the op chains of defer statements in source order;
+	// every function exit replays them in reverse. This is the standard
+	// static approximation: a defer registered on the syntactic path is
+	// assumed live at every later exit.
+	deferred [][]*opCall
+}
+
+func (b *cfgBuilder) newNode(op *opCall) *cfgNode {
+	n := &cfgNode{op: op, idx: len(b.g.nodes)}
+	b.g.nodes = append(b.g.nodes, n)
+	return n
+}
+
+func edge(from, to *cfgNode) {
+	if from == nil || to == nil {
+		return
+	}
+	from.succs = append(from.succs, to)
+}
+
+// buildCFG constructs fi's CFG.
+func (a *analysis) buildCFG(fi *funcInfo) *cfgGraph {
+	g := &cfgGraph{}
+	b := &cfgBuilder{
+		a: a, fi: fi, g: g,
+		labeledBreak:    make(map[string]*cfgNode),
+		labeledContinue: make(map[string]*cfgNode),
+	}
+	g.entry = b.newNode(nil)
+	g.exit = b.newNode(nil)
+	end := b.stmts(fi.body.List, g.entry)
+	// Falling off the end of the body is an implicit return.
+	b.exitVia(end)
+	return g
+}
+
+// exitVia connects cur to the function exit through the deferred-op replay
+// chain (reverse registration order).
+func (b *cfgBuilder) exitVia(cur *cfgNode) {
+	if cur == nil {
+		return
+	}
+	for i := len(b.deferred) - 1; i >= 0; i-- {
+		for _, op := range b.deferred[i] {
+			n := b.newNode(op)
+			edge(cur, n)
+			cur = n
+		}
+	}
+	edge(cur, b.g.exit)
+}
+
+// opsChain appends one node per recognized op found in expr (pre-order,
+// skipping function-literal bodies) and returns the new tail.
+func (b *cfgBuilder) opsChain(cur *cfgNode, exprs ...ast.Node) *cfgNode {
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		for _, op := range b.opsIn(e) {
+			n := b.newNode(op)
+			edge(cur, n)
+			cur = n
+		}
+	}
+	return cur
+}
+
+// opsIn extracts recognized ops from an expression tree without descending
+// into function literals (their bodies are separate analysis units).
+func (b *cfgBuilder) opsIn(root ast.Node) []*opCall {
+	var out []*opCall
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op := b.a.classify(b.fi, call); op != nil {
+				out = append(out, op)
+				if op.kind == opPanic {
+					return true // still record args' ops? args precede panic; keep walking
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// stmts builds a statement list; returns the tail node, or nil if control
+// cannot fall through (return/branch on every path).
+func (b *cfgBuilder) stmts(list []ast.Stmt, cur *cfgNode) *cfgNode {
+	for _, s := range list {
+		cur = b.stmt(s, cur)
+		if cur == nil {
+			return nil
+		}
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *cfgNode) *cfgNode {
+	if cur == nil {
+		return nil
+	}
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(st.List, cur)
+
+	case *ast.ExprStmt:
+		cur = b.opsChain(cur, st.X)
+		// A statement-level panic(...) terminates the path.
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if op := b.a.classify(b.fi, call); op != nil && op.kind == opPanic {
+				return nil
+			}
+		}
+		return cur
+
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			cur = b.opsChain(cur, e)
+		}
+		for _, e := range st.Lhs {
+			cur = b.opsChain(cur, e)
+		}
+		return cur
+
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.GoStmt:
+		return b.opsChain(cur, s)
+
+	case *ast.DeferStmt:
+		// The deferred call runs at exit; argument expressions evaluate now
+		// but the instrumented apps never bury ops in defer arguments, so
+		// the whole chain is replayed at exits.
+		b.deferred = append(b.deferred, b.opsIn(st.Call))
+		return cur
+
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			cur = b.opsChain(cur, e)
+		}
+		b.exitVia(cur)
+		return nil
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = st.Label.Name
+		return b.stmt(st.Stmt, cur)
+
+	case *ast.IfStmt:
+		cur = b.stmt2(st.Init, cur)
+		cur = b.opsChain(cur, st.Cond)
+		after := b.newNode(nil)
+		thenEnd := b.stmts(st.Body.List, cur)
+		edge(thenEnd, after)
+		if st.Else != nil {
+			elseEnd := b.stmt(st.Else, cur)
+			edge(elseEnd, after)
+		} else {
+			edge(cur, after)
+		}
+		if len(after.succs) == 0 && thenEnd == nil && st.Else != nil {
+			// Both arms terminated; "after" is unreachable only if no edges
+			// lead in. Detect by absence of predecessors: handled naturally
+			// because we return after regardless — unreachable nodes simply
+			// never get visited by the dataflow.
+		}
+		return after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		cur = b.stmt2(st.Init, cur)
+		head := b.newNode(nil)
+		edge(cur, head)
+		condEnd := b.opsChain(head, st.Cond)
+		after := b.newNode(nil)
+		if st.Cond != nil {
+			edge(condEnd, after)
+		}
+		b.pushLoop(after, head, label)
+		bodyEnd := b.stmts(st.Body.List, condEnd)
+		bodyEnd = b.stmt2(st.Post, bodyEnd)
+		edge(bodyEnd, head)
+		b.popLoop(label, true)
+		return after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newNode(nil)
+		edge(cur, head)
+		condEnd := b.opsChain(head, st.X)
+		after := b.newNode(nil)
+		edge(condEnd, after) // zero-iteration path
+		b.pushLoop(after, head, label)
+		bodyEnd := b.stmts(st.Body.List, condEnd)
+		edge(bodyEnd, head)
+		b.popLoop(label, true)
+		return after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		cur = b.stmt2(st.Init, cur)
+		cur = b.opsChain(cur, st.Tag)
+		after := b.newNode(nil)
+		b.pushLoop(after, nil, label) // break targets after; no continue
+		hasDefault := false
+		// Build clause bodies first so fallthrough can target the next one.
+		clauses := st.Body.List
+		bodyStart := make([]*cfgNode, len(clauses))
+		for i := range clauses {
+			bodyStart[i] = b.newNode(nil)
+		}
+		for i, cl := range clauses {
+			cc := cl.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			guard := cur
+			for _, e := range cc.List {
+				guard = b.opsChain(guard, e)
+			}
+			edge(guard, bodyStart[i])
+			var next *cfgNode
+			if i+1 < len(clauses) {
+				next = bodyStart[i+1]
+			}
+			end := b.caseBody(cc.Body, bodyStart[i], next)
+			edge(end, after)
+		}
+		if !hasDefault {
+			edge(cur, after)
+		}
+		b.popLoop(label, false)
+		return after
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		cur = b.stmt2(st.Init, cur)
+		cur = b.opsChain(cur, st.Assign)
+		after := b.newNode(nil)
+		b.pushLoop(after, nil, label)
+		hasDefault := false
+		for _, cl := range st.Body.List {
+			cc := cl.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			end := b.stmts(cc.Body, cur)
+			edge(end, after)
+		}
+		if !hasDefault {
+			edge(cur, after)
+		}
+		b.popLoop(label, false)
+		return after
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		after := b.newNode(nil)
+		b.pushLoop(after, nil, label)
+		for _, cl := range st.Body.List {
+			cc := cl.(*ast.CommClause)
+			c := b.opsChain(cur, cc.Comm)
+			end := b.stmts(cc.Body, c)
+			edge(end, after)
+		}
+		if len(st.Body.List) == 0 {
+			edge(cur, after)
+		}
+		b.popLoop(label, false)
+		return after
+
+	case *ast.BranchStmt:
+		switch st.Tok.String() {
+		case "break":
+			if st.Label != nil {
+				edge(cur, b.labeledBreak[st.Label.Name])
+			} else if len(b.breakTargets) > 0 {
+				edge(cur, b.breakTargets[len(b.breakTargets)-1])
+			}
+		case "continue":
+			if st.Label != nil {
+				edge(cur, b.labeledContinue[st.Label.Name])
+			} else if len(b.continueTargets) > 0 {
+				edge(cur, b.continueTargets[len(b.continueTargets)-1])
+			}
+		case "goto":
+			// Unsupported: the path ends here. The instrumented apps do not
+			// use goto; a goto-reached region simply goes unanalyzed.
+		case "fallthrough":
+			// Handled by caseBody.
+		}
+		return nil
+
+	default:
+		// Anything else (empty statements, etc.): extract ops generically.
+		return b.opsChain(cur, s)
+	}
+}
+
+// caseBody builds a switch case body, wiring a trailing fallthrough to the
+// next clause's body start.
+func (b *cfgBuilder) caseBody(list []ast.Stmt, cur, next *cfgNode) *cfgNode {
+	for i, s := range list {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" && i == len(list)-1 {
+			edge(cur, next)
+			return nil
+		}
+		cur = b.stmt(s, cur)
+		if cur == nil {
+			return nil
+		}
+	}
+	return cur
+}
+
+// stmt2 builds an optional simple statement (if/for init, for post).
+func (b *cfgBuilder) stmt2(s ast.Stmt, cur *cfgNode) *cfgNode {
+	if s == nil {
+		return cur
+	}
+	return b.stmt(s, cur)
+}
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *cfgNode, label string) {
+	b.breakTargets = append(b.breakTargets, brk)
+	if cont != nil {
+		b.continueTargets = append(b.continueTargets, cont)
+	}
+	if label != "" {
+		b.labeledBreak[label] = brk
+		if cont != nil {
+			b.labeledContinue[label] = cont
+		}
+	}
+}
+
+func (b *cfgBuilder) popLoop(label string, hadCont bool) {
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	if hadCont {
+		b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+	}
+	if label != "" {
+		delete(b.labeledBreak, label)
+		delete(b.labeledContinue, label)
+	}
+}

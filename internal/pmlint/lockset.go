@@ -1,0 +1,327 @@
+package pmlint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Static lockset analysis: the source-level mirror of stage ③'s dynamic
+// lockset intersection. Where the dynamic analysis intersects the locksets
+// of every (store, load) pair observed on a trace, the static pass computes,
+// for every PM access expression, the set of pmrt locks held on ALL paths
+// reaching it (meet-over-paths intersection), widened across the call graph:
+// a helper's accesses inherit a lock only when every analyzed call site
+// provably holds one.
+//
+// Two findings come out of it:
+//
+//   - lock-imbalance: a lock acquired on some path but not released before
+//     function exit (hand-over-hand locking across function boundaries will
+//     trip this — record such designs in the baseline), or an unlock with no
+//     matching acquisition.
+//   - empty-lockset: an access to a receiver field (e.g. $recv.head) whose
+//     effective lockset is empty while another access to the same field of
+//     the same receiver type is protected by a lock somewhere in the
+//     package. This is precisely the shape of the paper's
+//     lock-free-reader-vs-locked-writer races; apps that embed them on
+//     purpose carry baseline entries.
+
+// lockHold is one held lock: its normalized expression and acquisition site.
+type lockHold struct {
+	expr string
+	pos  token.Pos
+}
+
+// lockState is an immutable sorted set of held locks.
+type lockState []lockHold
+
+func (s lockState) key() string {
+	var b strings.Builder
+	for _, h := range s {
+		b.WriteString(h.expr)
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+func (s lockState) with(h lockHold) lockState {
+	for _, e := range s {
+		if e.expr == h.expr {
+			return s
+		}
+	}
+	out := make(lockState, 0, len(s)+1)
+	out = append(out, s...)
+	out = append(out, h)
+	sort.Slice(out, func(i, j int) bool { return out[i].expr < out[j].expr })
+	return out
+}
+
+func (s lockState) without(expr string) (lockState, bool) {
+	for i, e := range s {
+		if e.expr == expr {
+			out := make(lockState, 0, len(s)-1)
+			out = append(out, s[:i]...)
+			out = append(out, s[i+1:]...)
+			return out, true
+		}
+	}
+	return s, false
+}
+
+// stateSet is the dataflow fact at a CFG node: the set of distinct lock
+// states over all paths reaching it.
+type stateSet map[string]lockState
+
+// maxLockStates caps the per-node state count; beyond it the function's
+// lockset checks are skipped (lockBlowup) rather than risk exponential
+// blowup or noise.
+const maxLockStates = 64
+
+// accessInfo records one PM access with its effective lockset emptiness.
+type accessInfo struct {
+	fi       *funcInfo
+	pos      token.Pos
+	base     string
+	isStore  bool
+	held     lockState // intersection over all states at the access
+	lockFree bool      // held empty and no caller-side protection
+}
+
+// checkLocksets runs the lockset dataflow over every function, widens
+// protection over the call graph, and reports imbalance and empty-lockset
+// findings.
+func (a *analysis) checkLocksets() {
+	states := make(map[*funcInfo]map[*cfgNode]stateSet)
+	for _, fi := range a.funcs {
+		states[fi] = a.lockDataflow(fi)
+	}
+
+	// entryHolds[f]: every analyzed call site of f holds a lock (locally or
+	// via its own callers). Optimistic start, monotone-decreasing fixpoint.
+	entryHolds := make(map[*funcInfo]bool)
+	for _, fi := range a.funcs {
+		entryHolds[fi] = len(fi.callers) > 0
+	}
+	siteByOp := make(map[*opCall]*funcInfo) // call op -> enclosing caller
+	for _, fi := range a.funcs {
+		for _, n := range fi.cfg.nodes {
+			if n.op != nil && n.op.kind == opCallFn {
+				siteByOp[n.op] = fi
+			}
+		}
+	}
+	siteHeld := func(site *opCall) bool {
+		caller := siteByOp[site]
+		if caller == nil || caller.lockBlowup {
+			return false
+		}
+		var ss stateSet
+		for n, f := range states[caller] {
+			if n.op == site {
+				ss = f
+				break
+			}
+		}
+		if len(ss) == 0 {
+			return false // unreachable call site: claim nothing
+		}
+		for _, st := range ss {
+			if len(st) == 0 {
+				return entryHolds[caller]
+			}
+		}
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range a.funcs {
+			if !entryHolds[fi] {
+				continue
+			}
+			for _, site := range fi.callers {
+				if !siteHeld(site) {
+					entryHolds[fi] = false
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Collect accesses and report imbalance.
+	var accesses []accessInfo
+	for _, fi := range a.funcs {
+		if fi.lockBlowup {
+			continue
+		}
+		nodeStates := states[fi]
+		// Exit-held locks: any state at exit with held locks.
+		reportedHeld := make(map[string]bool)
+		for _, st := range nodeStates[fi.cfg.exit] {
+			for _, h := range st {
+				if reportedHeld[h.expr] {
+					continue
+				}
+				reportedHeld[h.expr] = true
+				a.report(h.pos, "lock-imbalance",
+					"lock %s acquired in %s may still be held at function exit",
+					h.expr, fi.name)
+			}
+		}
+		for _, n := range fi.cfg.nodes {
+			if n.op == nil {
+				continue
+			}
+			switch n.op.kind {
+			case opUnlock:
+				// Report only when NO reachable state holds the lock: a
+				// conditionally-deferred unlock (if cond { Lock; defer
+				// Unlock }) replays at exits whose states legitimately
+				// lack the lock.
+				ss := nodeStates[n]
+				anyHeld := len(ss) == 0
+				for _, st := range ss {
+					if _, ok := st.without(n.op.lockExpr); ok {
+						anyHeld = true
+						break
+					}
+				}
+				if !anyHeld {
+					a.report(n.op.pos, "lock-imbalance",
+						"unlock of %s in %s without a matching acquisition on any path",
+						n.op.lockExpr, fi.name)
+				}
+			case opStore, opNTStore, opCAS, opZero, opLoad:
+				ss := nodeStates[n]
+				if len(ss) == 0 {
+					continue // unreachable
+				}
+				held := intersectStates(ss)
+				accesses = append(accesses, accessInfo{
+					fi: fi, pos: n.op.pos, base: n.op.addrBase,
+					isStore:  isStoreKind(n.op.kind),
+					held:     held,
+					lockFree: len(held) == 0 && !entryHolds[fi],
+				})
+			}
+		}
+	}
+
+	// Group receiver-field accesses by (package, receiver type, base); flag
+	// lock-free members of groups that have a protected member.
+	type groupKey struct{ pkg, recvType, base string }
+	groups := make(map[groupKey][]accessInfo)
+	for _, acc := range accesses {
+		if rootIdent(acc.base) != "$recv" || acc.fi.recvType == "" {
+			continue
+		}
+		k := groupKey{acc.fi.pkg.Path, acc.fi.recvType, acc.base}
+		groups[k] = append(groups[k], acc)
+	}
+	for k, accs := range groups {
+		var protector *accessInfo
+		for i := range accs {
+			if len(accs[i].held) > 0 {
+				protector = &accs[i]
+				break
+			}
+		}
+		if protector == nil {
+			continue // uniformly lock-free: single-threaded or init-only use
+		}
+		for _, acc := range accs {
+			if !acc.lockFree {
+				continue
+			}
+			kind := "load of"
+			if acc.isStore {
+				kind = "store to"
+			}
+			a.report(acc.pos, "empty-lockset",
+				"%s %s in %s has empty static lockset, but (%s).%s accesses are protected by %s elsewhere",
+				kind, acc.base, acc.fi.name, k.recvType, strings.TrimPrefix(acc.base, "$recv."),
+				protector.held[0].expr)
+		}
+	}
+}
+
+// intersectStates computes the locks held in every state of ss.
+func intersectStates(ss stateSet) lockState {
+	var out lockState
+	first := true
+	for _, st := range ss {
+		if first {
+			out = st
+			first = false
+			continue
+		}
+		var next lockState
+		for _, h := range out {
+			if _, found := st.without(h.expr); found {
+				next = append(next, h)
+			}
+		}
+		out = next
+		if len(out) == 0 {
+			break
+		}
+	}
+	return out
+}
+
+// lockDataflow runs the worklist algorithm over fi's CFG, producing the
+// reachable lock states at every node. The fact at a node describes the
+// state BEFORE its operation executes.
+func (a *analysis) lockDataflow(fi *funcInfo) map[*cfgNode]stateSet {
+	facts := make(map[*cfgNode]stateSet, len(fi.cfg.nodes))
+	entry := stateSet{lockState(nil).key(): nil}
+	facts[fi.cfg.entry] = entry
+	work := []*cfgNode{fi.cfg.entry}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := transferStates(facts[n], n)
+		for _, s := range n.succs {
+			f := facts[s]
+			if f == nil {
+				f = make(stateSet)
+				facts[s] = f
+			}
+			changed := false
+			for k, st := range out {
+				if _, ok := f[k]; !ok {
+					f[k] = st
+					changed = true
+				}
+			}
+			if len(f) > maxLockStates {
+				fi.lockBlowup = true
+				return facts
+			}
+			if changed {
+				work = append(work, s)
+			}
+		}
+	}
+	return facts
+}
+
+// transferStates applies node n's operation to every incoming state.
+func transferStates(in stateSet, n *cfgNode) stateSet {
+	if n.op == nil || (n.op.kind != opLock && n.op.kind != opUnlock) {
+		return in
+	}
+	out := make(stateSet, len(in))
+	for _, st := range in {
+		var next lockState
+		if n.op.kind == opLock {
+			next = st.with(lockHold{expr: n.op.lockExpr, pos: n.op.pos})
+		} else {
+			next, _ = st.without(n.op.lockExpr)
+		}
+		out[next.key()] = next
+	}
+	return out
+}

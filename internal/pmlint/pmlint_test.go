@@ -1,0 +1,223 @@
+package pmlint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixturePrefix is the import-path prefix of the fixture packages under
+// testdata/src (Expand skips testdata, so tests load them explicitly).
+const fixturePrefix = "hawkset/internal/pmlint/testdata/src/"
+
+// analyzeFixture loads the named fixture packages and runs every check.
+func analyzeFixture(t *testing.T, cfg Config, names ...string) []Finding {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(wd)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	var pkgs []*Package
+	for _, name := range names {
+		p, err := l.LoadDir(filepath.Join(wd, "testdata", "src", name))
+		if err != nil {
+			t.Fatalf("LoadDir(%s): %v", name, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	fs, err := Analyze(l, pkgs, cfg)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return fs
+}
+
+// TestFixtures is the golden-diff acceptance test: every seeded misuse in
+// testdata/src is detected, and the clean counterparts in the same packages
+// produce no findings at all.
+func TestFixtures(t *testing.T) {
+	pfx := "testdata/src/"
+	tests := []struct {
+		names []string
+		cfg   Config
+		want  []string
+	}{
+		{
+			names: []string{"missingpersist"},
+			want: []string{
+				pfx + "missingpersist/missingpersist.go:11: [missing-persist] store to addr in Bad has no reachable flush+fence or persist before function exit",
+				pfx + "missingpersist/missingpersist.go:16: [missing-persist] store to addr in BadCAS has no reachable flush+fence or persist before function exit",
+				pfx + "missingpersist/missingpersist.go:21: [missing-persist] store to addr in BadNT has no reachable flush+fence or persist before function exit",
+				pfx + "missingpersist/missingpersist.go:31: [missing-persist] store via badHelper to addr in BadCaller has no reachable flush+fence or persist before function exit",
+			},
+		},
+		{
+			names: []string{"flushnofence"},
+			want: []string{
+				pfx + "flushnofence/flushnofence.go:10: [flush-no-fence] flush in Bad can reach function exit with no following fence",
+				pfx + "flushnofence/flushnofence.go:15: [flush-no-fence] flush in BadSomePath can reach function exit with no following fence",
+			},
+		},
+		{
+			names: []string{"lockimbalance"},
+			want: []string{
+				pfx + "lockimbalance/lockimbalance.go:17: [lock-imbalance] lock $recv.mu acquired in (*S).BadHeld may still be held at function exit",
+				pfx + "lockimbalance/lockimbalance.go:26: [lock-imbalance] unlock of $recv.mu in (*S).BadUnlock without a matching acquisition on any path",
+			},
+		},
+		{
+			names: []string{"emptylockset"},
+			want: []string{
+				pfx + "emptylockset/emptylockset.go:25: [empty-lockset] load of $recv.head in (*Racy).Get has empty static lockset, but (Racy).head accesses are protected by $recv.mu elsewhere",
+			},
+		},
+		{
+			// bypassclean sits under the same AppsPrefix and must stay silent:
+			// pmrt primitives are the sanctioned concurrency vocabulary.
+			names: []string{"bypass", "bypassclean"},
+			cfg:   Config{AppsPrefix: fixturePrefix + "bypass"},
+			want: []string{
+				pfx + "bypass/bypass.go:12: [scheduler-bypass] channel type in application code; thread communication must go through pmrt",
+				pfx + "bypass/bypass.go:13: [scheduler-bypass] use of sync.Mutex bypasses the cooperative scheduler; use pmrt.Mutex/RWMutex/SpinLock",
+				pfx + "bypass/bypass.go:15: [scheduler-bypass] go statement bypasses the cooperative scheduler; use pmrt.Ctx.Spawn",
+				pfx + "bypass/bypass.go:16: [scheduler-bypass] channel receive bypasses the cooperative scheduler; use pmrt primitives",
+				pfx + "bypass/bypass.go:17: [scheduler-bypass] time.Sleep stalls outside the cooperative scheduler and breaks deterministic replay",
+				pfx + "bypass/bypass.go:22: [scheduler-bypass] channel type in application code; thread communication must go through pmrt",
+				pfx + "bypass/bypass.go:23: [scheduler-bypass] channel send bypasses the cooperative scheduler; use pmrt primitives",
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(strings.Join(tt.names, "+"), func(t *testing.T) {
+			fs := analyzeFixture(t, tt.cfg, tt.names...)
+			var got []string
+			for _, f := range fs {
+				got = append(got, strings.TrimPrefix(f.String(), "internal/pmlint/"))
+			}
+			if len(got) != len(tt.want) {
+				t.Fatalf("got %d findings, want %d:\ngot:  %s\nwant: %s",
+					len(got), len(tt.want), strings.Join(got, "\n      "), strings.Join(tt.want, "\n      "))
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Errorf("finding %d:\ngot:  %s\nwant: %s", i, got[i], tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestCleanFixturesOnly re-runs the analysis restricted to packages that
+// contain only correct code; any finding is a false positive.
+func TestCleanFixturesOnly(t *testing.T) {
+	fs := analyzeFixture(t, Config{AppsPrefix: fixturePrefix + "bypass"}, "bypassclean")
+	for _, f := range fs {
+		t.Errorf("false positive on clean fixture: %s", f)
+	}
+}
+
+// TestJSONFormatStability pins the -json output shape: the field set and
+// ordering are a CI interface (scripts parse them), so any change here must
+// be deliberate.
+func TestJSONFormatStability(t *testing.T) {
+	fs := []Finding{{
+		File: "internal/apps/wipe/wipe.go", Line: 99, Col: 9,
+		Check: "empty-lockset", Message: "load of $recv.segs …",
+	}}
+	got, err := json.Marshal(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `[{"file":"internal/apps/wipe/wipe.go","line":99,"col":9,` +
+		`"check":"empty-lockset","message":"load of $recv.segs …"}]`
+	if string(got) != want {
+		t.Errorf("JSON format changed:\ngot:  %s\nwant: %s", got, want)
+	}
+	// Round-trip: the field names must also decode.
+	var back []Finding
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0] != fs[0] {
+		t.Errorf("round-trip mismatch: %+v", back)
+	}
+}
+
+// TestBaseline covers the ratchet mechanics: filtering, stale-entry
+// detection, and write/read round-trip through the on-disk format.
+func TestBaseline(t *testing.T) {
+	old := Finding{File: "a/b.go", Line: 3, Check: "missing-persist", Message: "store to x in F …"}
+	fresh := Finding{File: "a/c.go", Line: 7, Check: "flush-no-fence", Message: "flush in G …"}
+
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, []Finding{old}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "pmlint.baseline")
+	// Comments and blank lines must be tolerated alongside generated entries.
+	content := buf.String() + "\n# hand-written note\nstale/file.go: [empty-lockset] gone finding\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bl, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	newF, suppressed := bl.Filter([]Finding{old, fresh})
+	if len(suppressed) != 1 || suppressed[0] != old {
+		t.Errorf("suppressed = %+v, want [old]", suppressed)
+	}
+	if len(newF) != 1 || newF[0] != fresh {
+		t.Errorf("new = %+v, want [fresh]", newF)
+	}
+	unused := bl.Unused([]Finding{old, fresh})
+	if len(unused) != 1 || unused[0] != "stale/file.go: [empty-lockset] gone finding" {
+		t.Errorf("unused = %q", unused)
+	}
+
+	// A missing baseline is an empty baseline, not an error.
+	empty, err := ReadBaseline(filepath.Join(t.TempDir(), "nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, s := empty.Filter([]Finding{fresh}); len(n) != 1 || len(s) != 0 {
+		t.Errorf("empty baseline should suppress nothing: new=%v suppressed=%v", n, s)
+	}
+}
+
+// TestRepoBaselineCovers runs the real analysis over the repository and
+// checks it against the committed pmlint.baseline — the same gate ci.sh
+// enforces, kept here so `go test ./...` catches drift early.
+func TestRepoBaselineCovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Dir(filepath.Dir(wd)) // internal/pmlint -> repo root
+	fs, err := Run(root, []string{"./..."}, Config{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	bl, err := ReadBaseline(filepath.Join(root, "pmlint.baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newF, _ := bl.Filter(fs)
+	for _, f := range newF {
+		t.Errorf("finding not in pmlint.baseline: %s", f)
+	}
+	for _, k := range bl.Unused(fs) {
+		t.Errorf("stale pmlint.baseline entry: %s", k)
+	}
+}

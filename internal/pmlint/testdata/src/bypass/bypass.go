@@ -1,0 +1,24 @@
+// Package bypass seeds scheduler-bypass misuses: native Go concurrency in
+// code that must run under the pmrt cooperative scheduler (the analysis is
+// pointed here via Config.AppsPrefix).
+package bypass
+
+import (
+	"sync"
+	"time"
+)
+
+// Bad uses every forbidden primitive the check knows about. MISUSE.
+func Bad(ch chan int) int {
+	var mu sync.Mutex
+	mu.Lock()
+	go send(ch)
+	v := <-ch
+	time.Sleep(time.Millisecond)
+	mu.Unlock()
+	return v
+}
+
+func send(ch chan int) {
+	ch <- 1
+}

@@ -1,0 +1,17 @@
+// Package bypassclean is the clean counterpart to bypass: concurrency goes
+// through pmrt primitives only, which the cooperative scheduler controls.
+package bypassclean
+
+import "hawkset/internal/pmrt"
+
+// Run spawns a worker through the scheduler and joins it.
+func Run(c *pmrt.Ctx, mu *pmrt.Mutex, addr uint64) {
+	th := c.Spawn(func(c *pmrt.Ctx) {
+		c.Lock(mu)
+		c.Store8(addr, 1)
+		c.Persist(addr, 8)
+		c.Unlock(mu)
+	})
+	c.Yield()
+	c.Join(th)
+}

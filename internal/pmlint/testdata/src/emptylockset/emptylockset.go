@@ -1,0 +1,60 @@
+// Package emptylockset seeds the paper's race shape: a field written under
+// a lock in one method and read lock-free in another, next to a fully
+// protected counterpart type.
+package emptylockset
+
+import "hawkset/internal/pmrt"
+
+// Racy writes head under mu but reads it bare. The lock-free read is the
+// MISUSE the static lockset check flags.
+type Racy struct {
+	mu   *pmrt.Mutex
+	head uint64
+}
+
+// Put updates head under the lock and persists it.
+func (r *Racy) Put(c *pmrt.Ctx, v uint64) {
+	c.Lock(r.mu)
+	defer c.Unlock(r.mu)
+	c.Store8(r.head, v)
+	c.Persist(r.head, 8)
+}
+
+// Get reads head with an empty lockset. MISUSE.
+func (r *Racy) Get(c *pmrt.Ctx) uint64 {
+	return c.Load8(r.head)
+}
+
+// Safe is the clean counterpart: every head access holds mu.
+type Safe struct {
+	mu   *pmrt.Mutex
+	head uint64
+}
+
+// Put updates head under the lock and persists it.
+func (s *Safe) Put(c *pmrt.Ctx, v uint64) {
+	c.Lock(s.mu)
+	defer c.Unlock(s.mu)
+	c.Store8(s.head, v)
+	c.Persist(s.head, 8)
+}
+
+// Get reads head under the same lock.
+func (s *Safe) Get(c *pmrt.Ctx) uint64 {
+	c.Lock(s.mu)
+	defer c.Unlock(s.mu)
+	return c.Load8(s.head)
+}
+
+// getLocked is protected at every call site, so its bare load inherits the
+// callers' lockset (entry-holds widening) and stays clean.
+func (s *Safe) getLocked(c *pmrt.Ctx) uint64 {
+	return c.Load8(s.head)
+}
+
+// Sum reads twice through the helper, both times under the lock.
+func (s *Safe) Sum(c *pmrt.Ctx) uint64 {
+	c.Lock(s.mu)
+	defer c.Unlock(s.mu)
+	return s.getLocked(c) + s.getLocked(c)
+}

@@ -1,0 +1,41 @@
+// Package flushnofence seeds deliberate flush-no-fence misuses (a flush
+// whose snapshot can reach function exit before any fence publishes it)
+// next to clean counterparts.
+package flushnofence
+
+import "hawkset/internal/pmrt"
+
+// Bad flushes and returns; the snapshot never becomes persistent. MISUSE.
+func Bad(c *pmrt.Ctx, addr uint64) {
+	c.Flush(addr)
+}
+
+// BadSomePath fences only when sync is set; the other path leaks. MISUSE.
+func BadSomePath(c *pmrt.Ctx, addr uint64, sync bool) {
+	c.Flush(addr)
+	if sync {
+		c.Fence()
+	}
+}
+
+// Good completes the flush on every path.
+func Good(c *pmrt.Ctx, addr uint64) {
+	c.Flush(addr)
+	c.Fence()
+}
+
+// GoodViaPersist: Persist fences, completing the earlier flush too.
+func GoodViaPersist(c *pmrt.Ctx, addr, other uint64) {
+	c.Flush(addr)
+	c.Persist(other, 8)
+}
+
+func fenceHelper(c *pmrt.Ctx) {
+	c.Fence()
+}
+
+// GoodViaHelper: the callee's fence summary covers the flush.
+func GoodViaHelper(c *pmrt.Ctx, addr uint64) {
+	c.Flush(addr)
+	fenceHelper(c)
+}

@@ -1,0 +1,68 @@
+// Package lockimbalance seeds deliberate lock/unlock imbalances next to
+// clean counterparts, including the conditional-defer shape that a naive
+// defer approximation would misreport.
+package lockimbalance
+
+import "hawkset/internal/pmrt"
+
+// S carries the locks under test.
+type S struct {
+	mu   *pmrt.Mutex
+	rw   *pmrt.RWMutex
+	spin *pmrt.SpinLock
+}
+
+// BadHeld leaks the lock on the early-return path. MISUSE.
+func (s *S) BadHeld(c *pmrt.Ctx, cond bool) {
+	c.Lock(s.mu)
+	if cond {
+		return
+	}
+	c.Unlock(s.mu)
+}
+
+// BadUnlock releases a lock no path acquired. MISUSE.
+func (s *S) BadUnlock(c *pmrt.Ctx) {
+	c.Unlock(s.mu)
+}
+
+// GoodBalanced pairs the operations on every path.
+func (s *S) GoodBalanced(c *pmrt.Ctx, cond bool) {
+	c.Lock(s.mu)
+	if cond {
+		c.Unlock(s.mu)
+		return
+	}
+	c.Unlock(s.mu)
+}
+
+// GoodDefer releases via defer on every exit.
+func (s *S) GoodDefer(c *pmrt.Ctx, cond bool) {
+	c.Lock(s.mu)
+	defer c.Unlock(s.mu)
+	if cond {
+		return
+	}
+}
+
+// GoodCondDefer acquires and defers the release inside one branch — the
+// no-lock exits must not be read as unlock-without-acquisition.
+func (s *S) GoodCondDefer(c *pmrt.Ctx, fixed bool) {
+	if fixed {
+		c.Lock(s.mu)
+		defer c.Unlock(s.mu)
+	}
+	if !fixed {
+		return
+	}
+}
+
+// GoodRWSpin exercises the other lock families.
+func (s *S) GoodRWSpin(c *pmrt.Ctx) {
+	c.RLock(s.rw)
+	c.RUnlock(s.rw)
+	c.WLock(s.rw)
+	c.WUnlock(s.rw)
+	c.SpinLock(s.spin)
+	c.SpinUnlock(s.spin)
+}

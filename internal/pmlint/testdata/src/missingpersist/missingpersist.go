@@ -1,0 +1,80 @@
+// Package missingpersist seeds one deliberate missing-persist misuse per
+// store flavour, next to clean counterparts exercising every suppression
+// path (direct persist, flush+fence, NTStore+fence, helper-stores/
+// caller-persists, conditional repair arm, address-helper coverage).
+package missingpersist
+
+import "hawkset/internal/pmrt"
+
+// Bad stores and returns with no flush or fence anywhere. MISUSE.
+func Bad(c *pmrt.Ctx, addr uint64) {
+	c.Store8(addr, 1)
+}
+
+// BadCAS publishes lock-free and never persists the slot. MISUSE.
+func BadCAS(c *pmrt.Ctx, addr uint64) bool {
+	return c.CAS8(addr, 0, 1)
+}
+
+// BadNT bypasses the cache but skips the fence its store still needs. MISUSE.
+func BadNT(c *pmrt.Ctx, addr uint64) {
+	c.NTStore8(addr, 2)
+}
+
+// badHelper is silent here (param-rooted store, analyzed caller) …
+func badHelper(c *pmrt.Ctx, addr uint64) {
+	c.Store8(addr, 3)
+}
+
+// BadCaller … but the propagated store surfaces here: no persist. MISUSE.
+func BadCaller(c *pmrt.Ctx, addr uint64) {
+	badHelper(c, addr)
+}
+
+// Good persists directly.
+func Good(c *pmrt.Ctx, addr uint64) {
+	c.Store8(addr, 4)
+	c.Persist(addr, 8)
+}
+
+// GoodFlushFence persists via the explicit two-step sequence.
+func GoodFlushFence(c *pmrt.Ctx, addr uint64) {
+	c.Store8(addr, 5)
+	c.Flush(addr)
+	c.Fence()
+}
+
+// GoodNT: a non-temporal store only needs the fence.
+func GoodNT(c *pmrt.Ctx, addr uint64) {
+	c.NTStore8(addr, 6)
+	c.Fence()
+}
+
+// goodHelper stores on the caller's behalf …
+func goodHelper(c *pmrt.Ctx, addr uint64) {
+	c.Store8(addr, 7)
+}
+
+// GoodCaller … and persists what the helper wrote.
+func GoodCaller(c *pmrt.Ctx, addr uint64) {
+	goodHelper(c, addr)
+	c.Persist(addr, 8)
+}
+
+// GoodConditional is clean under exists-path semantics: the repair arm
+// persists, mirroring the apps' `if fixed { … }` pattern.
+func GoodConditional(c *pmrt.Ctx, addr uint64, fixed bool) {
+	c.Store8(addr, 8)
+	if fixed {
+		c.Persist(addr, 8)
+	}
+}
+
+func slot(base uint64, i int) uint64 { return base + uint64(i)*8 }
+
+// GoodAddrHelper stores through an address-computing helper; the persist of
+// the underlying object covers it.
+func GoodAddrHelper(c *pmrt.Ctx, base uint64, i int) {
+	c.Store8(slot(base, i), 9)
+	c.Persist(base, 64)
+}

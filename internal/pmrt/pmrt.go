@@ -270,8 +270,10 @@ func (c *Ctx) Fence() {
 func (c *Ctx) Persist(addr uint64, size uint64) {
 	site := c.here()
 	if size > 0 {
+		// Subtraction-form bound: addr+size-1 wraps for ranges ending at
+		// the top of the address space, silently skipping every flush.
 		first := pmem.LineOf(addr)
-		last := pmem.LineOf(addr + size - 1)
+		last := pmem.LineOf(pmem.LastByte(addr, size))
 		for l := first; l <= last; l++ {
 			c.pre(trace.KFlush, l*pmem.LineSize, 0)
 			c.r.Pool.Flush(c.th.ID(), l*pmem.LineSize)
@@ -330,6 +332,16 @@ func (c *Ctx) Free(addr uint64) { c.r.Heap.Free(addr) }
 // Zero writes size zero bytes at addr without tracing (fresh-allocation
 // scrub used by application allocator wrappers; mirrors an uninstrumented
 // memset inside the allocator).
+//
+// Contract: Zero is an ordinary cached store in every respect except
+// observability. It emits no trace event and records no call site (the
+// analysis never sees it, exactly as HawkSet never sees a memset inside an
+// uninstrumented allocator), it does not yield to the scheduler, and — like
+// any store — it only dirties the covered cache lines. Under the worst-case
+// cache model the zeroes are NOT persistent until the caller issues a
+// covering Flush+Fence or Persist; a crash after an un-fenced Zero drops
+// them and the pre-Zero bytes survive. Callers relying on a scrubbed block
+// being durably zero must persist the range themselves.
 func (c *Ctx) Zero(addr uint64, size uint64) {
 	buf := make([]byte, size)
 	c.r.Pool.Store(c.th.ID(), addr, buf, 0)

@@ -480,3 +480,92 @@ func TestBacktraceMode(t *testing.T) {
 }
 
 func storeThroughHelper(c *Ctx, a uint64) { c.Store8(a, 7) }
+
+// TestPersistBoundAtPoolTop: Persist over a range whose last byte is the
+// pool's final byte must flush every covered line (regression for the
+// addition-form line bound addr+size-1, the wraparound class PR 1 fixed in
+// the analysis side).
+func TestPersistBoundAtPoolTop(t *testing.T) {
+	const pool = 1 << 16
+	r := New(Config{Seed: 1, PoolSize: pool})
+	err := r.Run(func(c *Ctx) {
+		addr := uint64(pool - 128)
+		for i := uint64(0); i < 128; i += 8 {
+			c.Store8(addr+i, 0xdead<<8|i)
+		}
+		c.Persist(addr, 128) // ends exactly at the pool top
+		if !r.Pool.Persisted(addr, 128) {
+			t.Error("Persist over range ending at pool top left bytes unpersisted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroUnfencedDroppedOnCrash pins Zero's contract: it is an untraced
+// dirty-line write, so under the worst-case cache model a crash before a
+// covering persist drops the zeroes and the pre-Zero bytes survive.
+func TestZeroUnfencedDroppedOnCrash(t *testing.T) {
+	r := New(Config{Seed: 1, PoolSize: 1 << 16})
+	var a uint64
+	err := r.Run(func(c *Ctx) {
+		a = c.Alloc(64)
+		c.Store8(a, 0x1111111111111111)
+		c.Store8(a+8, 0x2222222222222222)
+		c.Persist(a, 16)
+		c.Zero(a, 16) // visible immediately...
+		if got := c.Load8(a); got != 0 {
+			t.Errorf("volatile view after Zero = %#x, want 0", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...but not persistent: the crash image keeps the old contents.
+	if got := r.Pool.ReadPersistent8(a); got != 0x1111111111111111 {
+		t.Errorf("crash image word 0 = %#x, want pre-Zero 0x1111111111111111", got)
+	}
+	if got := r.Pool.ReadPersistent8(a + 8); got != 0x2222222222222222 {
+		t.Errorf("crash image word 1 = %#x, want pre-Zero 0x2222222222222222", got)
+	}
+
+	// A covering Persist makes the zeroes durable.
+	r2 := New(Config{Seed: 1, PoolSize: 1 << 16})
+	err = r2.Run(func(c *Ctx) {
+		a = c.Alloc(64)
+		c.Store8(a, 0x3333333333333333)
+		c.Persist(a, 8)
+		c.Zero(a, 8)
+		c.Persist(a, 8)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Pool.ReadPersistent8(a); got != 0 {
+		t.Errorf("crash image after Zero+Persist = %#x, want 0", got)
+	}
+}
+
+// TestZeroEmitsNoTraceEvent pins the observability half of Zero's contract:
+// no event reaches the trace or the EventSink.
+func TestZeroEmitsNoTraceEvent(t *testing.T) {
+	r := New(Config{Seed: 1, PoolSize: 1 << 16})
+	sunk := 0
+	r.EventSink = func(e trace.Event) { sunk++ }
+	err := r.Run(func(c *Ctx) {
+		a := c.Alloc(64)
+		before := len(r.Trace.Events)
+		beforeSunk := sunk
+		c.Zero(a, 64)
+		if got := len(r.Trace.Events) - before; got != 0 {
+			t.Errorf("Zero appended %d trace events, want 0", got)
+		}
+		if got := sunk - beforeSunk; got != 0 {
+			t.Errorf("Zero emitted %d sink events, want 0", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
