@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"testing"
+
+	"hawkset/internal/apps"
+	"hawkset/internal/crashinject"
+)
+
+// BenchmarkCrashInjection measures the fault-injection campaign's
+// throughput in crash points per second: each point costs an incremental
+// journal replay, a reboot-clone of the device, validation, and a full
+// recovery run on the crash image. The recording and analysis are done
+// once outside the timer — their cost is the usual testing-time story
+// (Figure 6); the campaign is the new per-point cost on top.
+func BenchmarkCrashInjection(b *testing.B) {
+	e, err := apps.Lookup("Fast-Fair")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prep, err := crashinject.Prepare(e, 1000, 7, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := prep.Target(0)
+	cfg := crashinject.Config{Strategy: crashinject.AfterFence, Budget: 32, Seed: 7}
+	b.ResetTimer()
+	points := 0
+	for i := 0; i < b.N; i++ {
+		camp, err := crashinject.RunCampaign(target, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		points += camp.Tested
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(points)/secs, "points/sec")
+	}
+	b.ReportMetric(float64(points)/float64(b.N), "points/op")
+}

@@ -11,6 +11,10 @@
 #   pmlint      static PM-misuse checks over the pmrt API; the committed
 #               baseline records the intentional findings (the apps embed
 #               the paper's Table 2 bugs), so only NEW findings fail
+#   pmcheck     bounded crash-point fault-injection smoke on two apps:
+#               the seeded (buggy) build must fail crash points (pmcheck
+#               exits with the failing-app count), the fixed build must
+#               sweep clean
 set -eux
 
 go vet ./...
@@ -18,3 +22,10 @@ go build ./...
 go test ./...
 go test -race . ./internal/hawkset ./internal/sched
 go run ./cmd/pmlint -baseline pmlint.baseline ./...
+
+if go run ./cmd/pmcheck -app Fast-Fair -ops 800 -inject -budget 8 -deadline 60s; then
+    echo "ci: buggy Fast-Fair crash campaign unexpectedly clean" >&2
+    exit 1
+fi
+go run ./cmd/pmcheck -app Fast-Fair -ops 800 -fixed -inject -budget 8 -deadline 60s
+go run ./cmd/pmcheck -app P-Masstree -ops 800 -fixed -inject -strategy fence -budget 8 -deadline 60s

@@ -41,6 +41,8 @@ func main() {
 		dur   = flag.Bool("durinn", false, "run the Durinn-style operation-level baseline (qualitative, §6.3)")
 		auto  = flag.Bool("automation", false, "print the §5.5 automation/agnosticism table")
 		f6    = flag.Bool("fig6", false, "run the scalability sweep (Figure 6)")
+		crash = flag.Bool("crash", false, "run the crash-point fault-injection sweep (app x strategy)")
+		crOps = flag.Int("crash-ops", 0, "workload size for the crash sweep (0 = per-app Table 2 sizes)")
 		all   = flag.Bool("all", false, "run everything")
 		seeds = flag.Int("seeds", 240, "seed-corpus size for Table 3 (paper: 240)")
 		sizes = flag.String("sizes", "1000,10000,100000", "workload sizes for Figure 6")
@@ -49,7 +51,7 @@ func main() {
 	)
 	flag.Parse()
 	expmt.AnalysisWorkers = *wrk
-	if !*t2 && !*t3 && !*t4 && !*f6 && !*dur && !*auto && !*all {
+	if !*t2 && !*t3 && !*t4 && !*f6 && !*dur && !*auto && !*crash && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -86,6 +88,16 @@ func main() {
 		rows, err := expmt.Table4(*seed)
 		check(err)
 		fmt.Println(expmt.FormatTable4(rows))
+	}
+
+	if *crash || *all {
+		fmt.Println("== Crash-point fault injection: points tested/failed per strategy ==")
+		cfg := expmt.DefaultCrashTableConfig()
+		cfg.Seed = *seed
+		cfg.Ops = *crOps
+		rows, err := expmt.CrashTable(cfg)
+		check(err)
+		fmt.Println(expmt.FormatCrashTable(rows))
 	}
 
 	if *auto || *all {

@@ -1,12 +1,22 @@
 // Command pmcheck runs a workload against an application and validates the
 // crash image — the post-crash consistency check (in the spirit of PMRace's
 // second stage) that turns HawkSet's race reports into demonstrated bugs.
+// With -inject it additionally runs the crash-point fault-injection
+// campaign (internal/crashinject): the recorded execution is replayed to
+// every selected crash point, and each materialized crash image is
+// validated and driven through the application's recovery path.
 //
 // Usage:
 //
-//	pmcheck -app Fast-Fair -ops 4000          # buggy variant: violations
-//	pmcheck -app Fast-Fair -ops 4000 -fixed   # control: clean image
-//	pmcheck -all                              # every app with a validator
+//	pmcheck -app Fast-Fair -ops 4000            # buggy variant: violations
+//	pmcheck -app Fast-Fair -ops 4000 -fixed     # control: clean image
+//	pmcheck -all                                # every app with a validator
+//	pmcheck -app Fast-Fair -inject              # + targeted crash campaign
+//	pmcheck -all -inject -strategy fence -json  # machine-readable output
+//
+// Exit status: 0 when every checked application is consistent; otherwise
+// the number of failing applications (capped at 100). Usage and runtime
+// errors exit 101.
 package main
 
 import (
@@ -15,6 +25,8 @@ import (
 	"os"
 
 	"hawkset/internal/apps"
+	"hawkset/internal/crashinject"
+	"hawkset/internal/report"
 
 	_ "hawkset/internal/apps/apex"
 	_ "hawkset/internal/apps/fastfair"
@@ -29,14 +41,24 @@ import (
 
 func main() {
 	var (
-		appName = flag.String("app", "Fast-Fair", "application to check")
-		ops     = flag.Int("ops", 4000, "main-phase operations")
-		seed    = flag.Int64("seed", 42, "workload and schedule seed")
-		fixed   = flag.Bool("fixed", false, "run the defect-free variant")
-		all     = flag.Bool("all", false, "check every application that implements crash validation")
-		maxShow = flag.Int("show", 10, "violations to print per application")
+		appName  = flag.String("app", "Fast-Fair", "application to check")
+		ops      = flag.Int("ops", 4000, "main-phase operations")
+		seed     = flag.Int64("seed", 42, "workload and schedule seed")
+		fixed    = flag.Bool("fixed", false, "run the defect-free variant")
+		all      = flag.Bool("all", false, "check every application that implements crash validation")
+		maxShow  = flag.Int("show", 10, "violations to print per application")
+		inject   = flag.Bool("inject", false, "run the crash-point fault-injection campaign")
+		strategy = flag.String("strategy", "targeted", "crash-point strategy: fence, flush, store or targeted")
+		budget   = flag.Int("budget", 0, "crash points tested per campaign (0 = default, negative = unlimited)")
+		deadline = flag.Duration("deadline", 0, "wall-clock bound per campaign (0 = none)")
+		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON document")
 	)
 	flag.Parse()
+
+	strat, err := crashinject.ParseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
 
 	entries := apps.All()
 	if !*all {
@@ -47,34 +69,73 @@ func main() {
 		entries = []*apps.Entry{e}
 	}
 
-	exit := 0
+	stratName := ""
+	if *inject {
+		stratName = strat.String()
+	}
+	doc := report.NewCrashDocument(stratName)
 	for _, e := range entries {
-		violations, err := apps.RunAndValidate(e, *ops, *seed, apps.RunConfig{Seed: *seed, Fixed: *fixed})
+		c, err := checkOne(e, *ops, *seed, *fixed, *inject, crashinject.Config{
+			Strategy: strat, Budget: *budget, Deadline: *deadline, Seed: *seed,
+		})
 		if err != nil {
 			if *all {
-				fmt.Printf("%-15s (no crash validator)\n", e.Name)
+				doc.Checks = append(doc.Checks, report.CrashCheck{
+					Application: e.Name, Fixed: *fixed, Skipped: err.Error(),
+				})
 				continue
 			}
 			fatal(err)
 		}
-		if len(violations) == 0 {
-			fmt.Printf("%-15s crash image CONSISTENT\n", e.Name)
-			continue
-		}
-		exit = 1
-		fmt.Printf("%-15s crash image CORRUPT: %d violation(s)\n", e.Name, len(violations))
-		for i, v := range violations {
-			if i >= *maxShow {
-				fmt.Printf("    ... and %d more\n", len(violations)-i)
-				break
-			}
-			fmt.Printf("    %s\n", v)
-		}
+		doc.Checks = append(doc.Checks, *c)
 	}
-	os.Exit(exit)
+
+	if *jsonOut {
+		err = doc.WriteJSON(os.Stdout)
+	} else {
+		err = doc.WriteText(os.Stdout, *maxShow)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	failed := doc.FailedApps()
+	if failed > 100 {
+		failed = 100
+	}
+	os.Exit(failed)
+}
+
+// checkOne validates one application: the end-of-run crash image always,
+// plus the fault-injection campaign when requested.
+func checkOne(e *apps.Entry, ops int, seed int64, fixed, inject bool, cfg crashinject.Config) (*report.CrashCheck, error) {
+	violations, err := apps.RunAndValidate(e, ops, seed, apps.RunConfig{Seed: seed, Fixed: fixed})
+	if err != nil {
+		return nil, fmt.Errorf("no crash validator: %w", err)
+	}
+	c := &report.CrashCheck{
+		Application: e.Name, Fixed: fixed,
+		Violations: violations,
+		Failed:     len(violations) > 0,
+	}
+	if !inject {
+		return c, nil
+	}
+	prep, err := crashinject.Prepare(e, ops, seed, fixed)
+	if err != nil {
+		return nil, err
+	}
+	camp, err := crashinject.RunCampaign(prep.Target(0), cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.Campaign = camp
+	if camp.Failed > 0 {
+		c.Failed = true
+	}
+	return c, nil
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "pmcheck:", err)
-	os.Exit(1)
+	os.Exit(101)
 }

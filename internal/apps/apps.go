@@ -111,6 +111,14 @@ type Entry struct {
 	// MaxOps caps the workload size (P-ART "hangs for workloads larger
 	// than 1k operations", §5 — reproduced as a documented cap).
 	MaxOps int
+	// Recover, when set, drives the application's recovery path on a
+	// rebooted device: it re-attaches to the persistent structure the prev
+	// instance created (prev supplies root addresses) and walks it the way
+	// post-crash startup code would. It returns an error when recovery
+	// itself detects corruption; it may also panic or livelock on a torn
+	// image — the crash-injection harness (internal/crashinject) guards
+	// both and converts them into inconsistent verdicts.
+	Recover func(c *pmrt.Ctx, prev App, fixed bool) error
 }
 
 // Classify assigns the Table 4 class to a report. Any unpersisted-window

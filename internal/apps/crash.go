@@ -21,6 +21,19 @@ type CrashValidator interface {
 	ValidateCrash(p *pmem.Pool) []string
 }
 
+// CrashPointValidator is the always-safe subset of crash validation: checks
+// that must hold in the persistent image at EVERY device-serialization
+// point of a correct execution, not only at operation boundaries. The full
+// ValidateCrash may compare the volatile and persistent views (silent data
+// loss, resurrected deletes) or assume no operation is mid-shift (duplicate
+// or out-of-order entries) — those invariants transiently fail while a
+// correctly-persisting operation is in flight, so the crash-injection
+// harness applies them only at quiescent crash points and uses
+// ValidateCrashPoint everywhere else.
+type CrashPointValidator interface {
+	ValidateCrashPoint(p *pmem.Pool) []string
+}
+
 // RunAndValidate executes a generated workload against the application and
 // validates the crash image at the worst possible moment: immediately after
 // the last operation, before any shutdown-time flushing. It returns the

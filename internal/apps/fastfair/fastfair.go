@@ -481,6 +481,97 @@ func (t *Tree) ValidateCrash(p *pmem.Pool) []string {
 	return out
 }
 
+// ValidateCrashPoint implements apps.CrashPointValidator: the invariants of
+// the persistent image that hold at EVERY device-serialization point of the
+// fixed variant, once Setup has completed. The duplicate-child and silent
+// data-loss checks stay quiescent-only in ValidateCrash: an in-flight entry
+// shift legitimately duplicates a persisted slot, and a correctly-persisting
+// insert has a store→persist gap where the volatile view briefly leads.
+func (t *Tree) ValidateCrashPoint(p *pmem.Pool) []string {
+	var out []string
+	root := p.ReadPersistent8(t.meta)
+	if root == 0 {
+		return []string{"persisted root pointer is nil"}
+	}
+	var walk func(n uint64, depth int)
+	walk = func(n uint64, depth int) {
+		if depth > 16 {
+			out = append(out, fmt.Sprintf("node %#x: depth bound exceeded (cycle?)", n))
+			return
+		}
+		leaf, count := header(p.ReadPersistent8(n + offHeader))
+		if count > fanout {
+			out = append(out, fmt.Sprintf("node %#x: persisted count %d exceeds fanout", n, count))
+			return
+		}
+		if leaf {
+			return
+		}
+		child := p.ReadPersistent8(n + offNext)
+		if child == 0 {
+			out = append(out, fmt.Sprintf("internal node %#x: nil leftmost child", n))
+		} else {
+			walk(child, depth+1)
+		}
+		for i := 0; i < count; i++ {
+			c := p.ReadPersistent8(entryVal(n, i))
+			if c == 0 {
+				out = append(out, fmt.Sprintf(
+					"internal node %#x entry %d: count persisted but child pointer is nil (torn split, bug #1)", n, i))
+				continue
+			}
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	return out
+}
+
+// RecoveryWalk traverses the attached tree through instrumented loads — the
+// hardened recovery pass. Instead of blindly trusting persisted pointers
+// (and looping forever on a nil child that aliases the reserved zero page,
+// or faulting on garbage), it bounds the depth and rejects nil children,
+// returning an error describing the first inconsistency it meets. Truly
+// corrupt pointers that land outside the device still fault (panic), which
+// the crash-injection harness converts into an inconsistent verdict.
+func (t *Tree) RecoveryWalk(c *pmrt.Ctx) error {
+	root := c.Load8(t.meta)
+	if root == 0 {
+		return fmt.Errorf("recovery: nil root pointer")
+	}
+	return t.recWalk(c, root, 0)
+}
+
+func (t *Tree) recWalk(c *pmrt.Ctx, n uint64, depth int) error {
+	if depth > 16 {
+		return fmt.Errorf("recovery: depth bound exceeded at node %#x (cycle?)", n)
+	}
+	leaf, count := header(c.Load8(n + offHeader))
+	if count > fanout {
+		return fmt.Errorf("recovery: node %#x count %d exceeds fanout", n, count)
+	}
+	if leaf {
+		return nil
+	}
+	child := c.Load8(n + offNext)
+	if child == 0 {
+		return fmt.Errorf("recovery: internal node %#x has nil leftmost child", n)
+	}
+	if err := t.recWalk(c, child, depth+1); err != nil {
+		return err
+	}
+	for i := 0; i < count; i++ {
+		ch := c.Load8(entryVal(n, i))
+		if ch == 0 {
+			return fmt.Errorf("recovery: torn split — node %#x entry %d has nil child", n, i)
+		}
+		if err := t.recWalk(c, ch, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // countKeys walks the tree through the given memory view, counting reachable
 // leaf entries. Nil children (torn splits) are skipped — they are reported
 // separately.
@@ -544,5 +635,8 @@ func init() {
 			},
 		),
 		Spec: ycsb.DefaultSpec,
+		Recover: func(c *pmrt.Ctx, prev apps.App, fixed bool) error {
+			return Attach(c.Runtime(), prev.(*Tree).Meta(), fixed).RecoveryWalk(c)
+		},
 	})
 }

@@ -306,7 +306,7 @@ func (t *Tree) removeEntry(c *pmrt.Ctx, leaf uint64, i, count int) {
 // admitting an empty key slot is the torn state bugs #5/#6 leave behind, and
 // keys out of sorted order betray a torn shift.
 func (t *Tree) ValidateCrash(p *pmem.Pool) []string {
-	var out []string
+	out := t.divergence(p)
 	for s := uint64(0); s < radix; s++ {
 		leaf := p.ReadPersistent8(t.slotAddr(s))
 		hops := 0
@@ -335,6 +335,124 @@ func (t *Tree) ValidateCrash(p *pmem.Pool) []string {
 		}
 	}
 	return out
+}
+
+// divergence compares the key sets reachable in the volatile (pre-crash)
+// and persistent (post-crash) views. Keys only the volatile view reaches
+// are silent data loss (bugs #5/#6: published-but-unpersisted entries);
+// keys only the persistent view reaches are resurrected deletes (bug #7:
+// the removal was visible to readers but never persisted, so the crash
+// undoes it). Sound only when no operation is in flight — the
+// crash-injection harness applies it at quiescent crash points and at
+// end-of-run, where the fixed variant's views agree by construction.
+func (t *Tree) divergence(p *pmem.Pool) []string {
+	vol := t.collectKeys(p.Load8)
+	per := t.collectKeys(p.ReadPersistent8)
+	loss, res := 0, 0
+	for k := range vol {
+		if !per[k] {
+			loss++
+		}
+	}
+	for k := range per {
+		if !vol[k] {
+			res++
+		}
+	}
+	var out []string
+	if loss > 0 {
+		out = append(out, fmt.Sprintf(
+			"silent data loss: %d of %d keys unreachable in the crash image (bugs #5/#6)", loss, len(vol)))
+	}
+	if res > 0 {
+		out = append(out, fmt.Sprintf(
+			"resurrected deletes: %d keys present only in the crash image (bug #7)", res))
+	}
+	return out
+}
+
+// collectKeys gathers the reachable key set through the given memory view,
+// skipping structurally corrupt leaves (reported separately).
+func (t *Tree) collectKeys(read func(uint64) uint64) map[uint64]bool {
+	keys := make(map[uint64]bool)
+	for s := uint64(0); s < radix; s++ {
+		leaf := read(t.slotAddr(s))
+		hops := 0
+		for leaf != 0 && hops < 1<<12 {
+			count := int(read(leaf + offCount))
+			if count > leafCap {
+				break
+			}
+			for i := 0; i < count; i++ {
+				if k := read(keyAddr(leaf, i)); k != 0 {
+					keys[k] = true
+				}
+			}
+			leaf = read(leaf + offNext)
+			hops++
+		}
+	}
+	return keys
+}
+
+// ValidateCrashPoint implements apps.CrashPointValidator: the invariants
+// that hold in the persistent image at EVERY device-serialization point of
+// the fixed variant. Key ordering and view divergence stay quiescent-only
+// in ValidateCrash — an in-flight shift or delete compaction legitimately
+// duplicates persisted slots, and a correctly-persisting put has a
+// store→persist gap.
+func (t *Tree) ValidateCrashPoint(p *pmem.Pool) []string {
+	var out []string
+	for s := uint64(0); s < radix; s++ {
+		leaf := p.ReadPersistent8(t.slotAddr(s))
+		hops := 0
+		for leaf != 0 {
+			if hops >= 1<<12 {
+				out = append(out, fmt.Sprintf("slot %d: leaf chain exceeds %d hops (cycle?)", s, 1<<12))
+				break
+			}
+			count := int(p.ReadPersistent8(leaf + offCount))
+			if count > leafCap {
+				out = append(out, fmt.Sprintf("leaf %#x: persisted count %d exceeds capacity", leaf, count))
+				break
+			}
+			for i := 0; i < count; i++ {
+				if p.ReadPersistent8(keyAddr(leaf, i)) == 0 {
+					out = append(out, fmt.Sprintf(
+						"leaf %#x entry %d: count persisted but key slot empty (torn put, bugs #5/#6)", leaf, i))
+				}
+			}
+			leaf = p.ReadPersistent8(leaf + offNext)
+			hops++
+		}
+	}
+	return out
+}
+
+// RecoveryWalk traverses every slot chain through instrumented loads — the
+// hardened recovery pass: hop- and capacity-bounded so a torn image yields
+// an error instead of an unbounded loop.
+func (t *Tree) RecoveryWalk(c *pmrt.Ctx) error {
+	for s := uint64(0); s < radix; s++ {
+		leaf := c.Load8(t.slotAddr(s))
+		hops := 0
+		for leaf != 0 {
+			if hops >= 1<<12 {
+				return fmt.Errorf("recovery: slot %d chain exceeds %d hops (cycle?)", s, 1<<12)
+			}
+			count := int(c.Load8(leaf + offCount))
+			if count > leafCap {
+				return fmt.Errorf("recovery: leaf %#x count %d exceeds capacity", leaf, count)
+			}
+			for i := 0; i < count; i++ {
+				c.Load8(keyAddr(leaf, i))
+				c.Load8(valAddr(leaf, i))
+			}
+			leaf = c.Load8(leaf + offNext)
+			hops++
+		}
+	}
+	return nil
 }
 
 func init() {
@@ -367,5 +485,8 @@ func init() {
 			[]string{"pmasstree.(*Tree).Get"},
 		),
 		Spec: ycsb.DefaultSpec,
+		Recover: func(c *pmrt.Ctx, prev apps.App, fixed bool) error {
+			return Attach(c.Runtime(), prev.(*Tree).Dir(), fixed).RecoveryWalk(c)
+		},
 	})
 }

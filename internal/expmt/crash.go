@@ -1,0 +1,101 @@
+package expmt
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hawkset/internal/apps"
+	"hawkset/internal/crashinject"
+)
+
+// CrashRow is one (application, strategy) line of the crash-injection
+// table: how many crash points the strategy enumerates on the recorded
+// execution, how many the budget let the campaign test, and how many of
+// those produced an inconsistent or unrecoverable image.
+type CrashRow struct {
+	App        string
+	Strategy   string
+	Enumerated int
+	Tested     int
+	Failed     int
+	// Skipped is the explicit degradation accounting: points dropped by
+	// the budget plus points abandoned at the deadline.
+	SkippedBudget   int
+	SkippedDeadline int
+	Elapsed         time.Duration
+}
+
+// CrashTableConfig parameterizes the campaign sweep.
+type CrashTableConfig struct {
+	Seed     int64
+	Fixed    bool
+	Budget   int
+	Deadline time.Duration
+	// Ops overrides the per-application workload size (0 = Table2Ops).
+	Ops        int
+	Strategies []crashinject.Strategy
+}
+
+// DefaultCrashTableConfig sweeps every strategy with a modest budget.
+func DefaultCrashTableConfig() CrashTableConfig {
+	return CrashTableConfig{Seed: 42, Budget: 32, Strategies: crashinject.Strategies()}
+}
+
+// CrashTable records each application once and runs one campaign per
+// strategy over the recording. Applications with no crash validator and no
+// recovery hook are skipped (a campaign would have nothing to check).
+func CrashTable(cfg CrashTableConfig) ([]CrashRow, error) {
+	if len(cfg.Strategies) == 0 {
+		cfg.Strategies = crashinject.Strategies()
+	}
+	var rows []CrashRow
+	for _, e := range apps.All() {
+		ops := cfg.Ops
+		if ops == 0 {
+			ops = Table2Ops[e.Name]
+		}
+		prep, err := crashinject.Prepare(e, ops, cfg.Seed, cfg.Fixed)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name, err)
+		}
+		target := prep.Target(0)
+		if target.PointCheck == nil && target.QuiescentCheck == nil && target.Recover == nil {
+			continue
+		}
+		for _, s := range cfg.Strategies {
+			camp, err := crashinject.RunCampaign(target, crashinject.Config{
+				Strategy: s, Budget: cfg.Budget, Deadline: cfg.Deadline, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", e.Name, s, err)
+			}
+			rows = append(rows, CrashRow{
+				App: e.Name, Strategy: camp.Strategy,
+				Enumerated: camp.Enumerated, Tested: camp.Tested, Failed: camp.Failed,
+				SkippedBudget: camp.SkippedBudget, SkippedDeadline: camp.SkippedDeadline,
+				Elapsed: time.Duration(camp.ElapsedMS) * time.Millisecond,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatCrashTable renders the sweep as the app × strategy table.
+func FormatCrashTable(rows []CrashRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-15s %-10s %-12s %-8s %-8s %-14s %-14s %s\n",
+		"Application", "Strategy", "Enumerated", "Tested", "Failed", "Skip(budget)", "Skip(deadline)", "Time")
+	last := ""
+	for _, r := range rows {
+		app := r.App
+		if app == last {
+			app = ""
+		}
+		last = r.App
+		fmt.Fprintf(&b, "%-15s %-10s %-12d %-8d %-8d %-14d %-14d %s\n",
+			app, r.Strategy, r.Enumerated, r.Tested, r.Failed,
+			r.SkippedBudget, r.SkippedDeadline, r.Elapsed.Round(time.Millisecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package expmt
+
+import (
+	"strings"
+	"testing"
+
+	"hawkset/internal/crashinject"
+)
+
+// TestCrashTableBuggyFindsFailures runs the sweep on the seeded (buggy)
+// variants: the table must cover several applications and at least the
+// targeted strategy must surface failing crash points.
+func TestCrashTableBuggyFindsFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash sweep in -short mode")
+	}
+	cfg := DefaultCrashTableConfig()
+	cfg.Ops = 1000
+	cfg.Budget = 16
+	cfg.Strategies = []crashinject.Strategy{crashinject.AfterFence, crashinject.Targeted}
+	rows, err := CrashTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := map[string]bool{}
+	failedSomewhere := 0
+	for _, r := range rows {
+		apps[r.App] = true
+		if r.Tested+r.SkippedBudget+r.SkippedDeadline != r.Enumerated {
+			t.Errorf("%s/%s: accounting broken: %+v", r.App, r.Strategy, r)
+		}
+		if r.Failed > 0 {
+			failedSomewhere++
+		}
+	}
+	if len(apps) < 5 {
+		t.Fatalf("sweep covered only %d applications", len(apps))
+	}
+	if failedSomewhere == 0 {
+		t.Fatalf("buggy sweep found no failing crash points anywhere")
+	}
+	out := FormatCrashTable(rows)
+	for _, col := range []string{"Application", "Strategy", "Tested", "Failed", "Skip(budget)"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("formatted table missing column %q:\n%s", col, out)
+		}
+	}
+}
+
+// TestCrashTableFixedIsClean is the sweep-wide control: the defect-free
+// variants must produce zero failing crash points under every strategy —
+// the quiescence-aware validation split is what makes this hold.
+func TestCrashTableFixedIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash sweep in -short mode")
+	}
+	cfg := DefaultCrashTableConfig()
+	cfg.Fixed = true
+	cfg.Ops = 1000
+	cfg.Budget = 16
+	rows, err := CrashTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Failed > 0 {
+			t.Errorf("%s/%s: %d/%d failed in fixed mode", r.App, r.Strategy, r.Failed, r.Tested)
+		}
+	}
+}

@@ -41,6 +41,12 @@ type replayer struct {
 	storeList []*StoreData
 	loadList  []*LoadData
 
+	// onWindow, when set, receives every unpersisted window as it closes, in
+	// trace-event coordinates (see StoreWindow). It fires before the
+	// Initialization Removal Heuristic decides whether to keep the store:
+	// windows are an execution-level artifact, not a report-level one.
+	onWindow func(StoreWindow)
+
 	stats Stats
 }
 
@@ -58,7 +64,10 @@ type openStore struct {
 	site   sites.ID
 	set    lockset.Set // lockset at the store instruction
 	start  vclock.ID
-	closed bool
+	// openIdx is the trace-event index of the store itself (for window
+	// extraction in event coordinates).
+	openIdx int
+	closed  bool
 }
 
 type threadState struct {
@@ -278,12 +287,13 @@ func (r *replayer) store(e trace.Event, nt bool) {
 	})
 
 	os := &openStore{
-		tid:   e.TID,
-		addr:  e.Addr,
-		size:  e.Size,
-		site:  e.Site,
-		set:   ts.set,
-		start: vcid,
+		tid:     e.TID,
+		addr:    e.Addr,
+		size:    e.Size,
+		site:    e.Site,
+		set:     ts.set,
+		start:   vcid,
+		openIdx: r.stats.Events - 1,
 	}
 	linesOf(e.Addr, e.Size, func(line uint64) {
 		r.lines[line] = append(r.lines[line], os)
@@ -373,6 +383,12 @@ func (r *replayer) fence(e trace.Event) {
 // fencing or overwriting thread).
 func (r *replayer) close(os *openStore, kind EndKind, endTID int32, endTS *threadState, endVC vclock.ID) {
 	os.closed = true
+	if r.onWindow != nil {
+		r.onWindow(StoreWindow{
+			StoreSite: os.site, TID: os.tid, Addr: os.addr, Size: os.size,
+			Start: os.openIdx, End: r.stats.Events - 1, EndKind: kind,
+		})
+	}
 	var eff lockset.Set
 	switch {
 	case !r.cfg.EffectiveLockset:
@@ -438,6 +454,12 @@ func (r *replayer) finish() {
 				continue
 			}
 			os.closed = true
+			if r.onWindow != nil {
+				r.onWindow(StoreWindow{
+					StoreSite: os.site, TID: os.tid, Addr: os.addr, Size: os.size,
+					Start: os.openIdx, End: r.stats.Events, EndKind: EndNone,
+				})
+			}
 			r.stats.UnpersistedAtEnd++
 			var eff lockset.Set
 			if !r.cfg.EffectiveLockset {

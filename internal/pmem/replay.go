@@ -1,0 +1,137 @@
+package pmem
+
+import "fmt"
+
+// This file is the device side of the crash-injection harness
+// (internal/crashinject): a Pool's mutation history can be recorded as a
+// journal of Ops (the instrumented runtime does the recording, because it
+// knows the trace-event index each operation corresponds to), and a Replayer
+// re-applies that journal to a fresh device, materializing the exact
+// volatile and persistent images at ANY journal position without re-running
+// the application. Crash enumeration then costs one linear replay for an
+// entire campaign instead of one execution per crash point.
+
+// OpKind enumerates the device-mutating operations a journal records. Loads
+// are absent: with background eviction disabled (the worst-case persistency
+// model the harness replays under), a load changes neither device view.
+type OpKind uint8
+
+// Journal operation kinds.
+const (
+	OpStore OpKind = iota + 1
+	OpNTStore
+	OpFlush
+	OpFence
+)
+
+var opKindNames = map[OpKind]string{
+	OpStore: "store", OpNTStore: "ntstore", OpFlush: "flush", OpFence: "fence",
+}
+
+// String returns the op kind's mnemonic.
+func (k OpKind) String() string {
+	if s, ok := opKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("opkind(%d)", uint8(k))
+}
+
+// Op is one recorded device-mutating operation.
+type Op struct {
+	Kind OpKind
+	TID  int32
+	Addr Addr
+	// Size is the store width. A store with nil Data writes Size zero bytes
+	// (the untraced allocator-scrub path, pmrt.Ctx.Zero).
+	Size uint32
+	// Data is the store payload (Store/NTStore); nil for Flush/Fence.
+	Data []byte
+	// Seq is the index of the trace event this op corresponds to, or -1 for
+	// operations that emit no trace event. It lets the harness translate
+	// trace-coordinate artifacts (e.g. hawkset store windows) into journal
+	// positions.
+	Seq int
+}
+
+// Replayer re-applies a recorded op journal to a fresh device under the
+// worst-case persistency model (no eADR, no background eviction — exactly
+// the semantics the journal was recorded under; the recording runtime's
+// eviction, if any, is not replayed, keeping images worst-case
+// conservative). Positions are journal indices: position p is the state
+// after applying ops[0:p], i.e. a crash "after op p-1".
+type Replayer struct {
+	pool *Pool
+	pos  int
+}
+
+// NewReplayer creates a replayer over a fresh zero-filled device of the
+// given size.
+func NewReplayer(size uint64) *Replayer {
+	return &Replayer{pool: New(size, Options{})}
+}
+
+// Pos returns the current journal position (ops applied so far).
+func (r *Replayer) Pos() int { return r.pos }
+
+// Pool exposes the replayed device. Its volatile view is the pre-crash
+// state at Pos and its persistent view is the crash image at Pos. Callers
+// may read both views; mutating it desynchronizes the replay.
+func (r *Replayer) Pool() *Pool { return r.pool }
+
+// Apply applies one op. The journal must be applied in recording order.
+func (r *Replayer) Apply(op Op) {
+	switch op.Kind {
+	case OpStore, OpNTStore:
+		data := op.Data
+		if data == nil {
+			data = make([]byte, op.Size)
+		}
+		if op.Kind == OpStore {
+			r.pool.Store(op.TID, op.Addr, data, 0)
+		} else {
+			r.pool.NTStore(op.TID, op.Addr, data, 0)
+		}
+	case OpFlush:
+		r.pool.Flush(op.TID, op.Addr)
+	case OpFence:
+		r.pool.Fence(op.TID)
+	default:
+		panic(fmt.Sprintf("pmem: cannot replay op kind %d", op.Kind))
+	}
+	r.pos++
+}
+
+// AdvanceTo applies ops[r.Pos():pos], leaving the device at position pos.
+// pos must not be behind the current position (replay is forward-only).
+func (r *Replayer) AdvanceTo(ops []Op, pos int) {
+	if pos < r.pos {
+		panic(fmt.Sprintf("pmem: replay cannot rewind from %d to %d", r.pos, pos))
+	}
+	for _, op := range ops[r.pos:pos] {
+		r.Apply(op)
+	}
+}
+
+// RebootClone returns a new Pool modeling a crash-and-restart of this
+// device: both views hold the persistent image, and all cache/pending state
+// is gone. The original pool is untouched, so a replay can continue past
+// the crash point. dst, when non-nil and of matching size, is reused
+// (campaigns reboot hundreds of images; recycling the two size-of-device
+// buffers keeps the allocator out of the hot loop); otherwise a fresh pool
+// is allocated.
+func (p *Pool) RebootClone(dst *Pool) *Pool {
+	if dst == nil || dst.Size() != p.Size() || dst.opts != (Options{}) {
+		dst = New(p.Size(), Options{})
+	}
+	copy(dst.persistent, p.persistent)
+	copy(dst.volatile, p.persistent)
+	if len(dst.dirty) > 0 {
+		dst.dirty = make(map[uint64]struct{})
+	}
+	if len(dst.pending) > 0 {
+		dst.pending = make(map[int32][]pendingFlush)
+	}
+	dst.evictQueue = nil
+	dst.clock = 0
+	return dst
+}

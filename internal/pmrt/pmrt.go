@@ -55,6 +55,12 @@ type Config struct {
 	// the analysis can use the events to reset the Initialization Removal
 	// Heuristic's publication state on reuse (hawkset.Config.AllocAware).
 	InstrumentAllocs bool
+	// RecordOps journals every device-mutating operation (stores with their
+	// data, flushes, fences) into Runtime.Ops, correlated to trace-event
+	// indices. The crash-injection harness (internal/crashinject) replays
+	// the journal to materialize the crash image at any point of the
+	// execution without re-running the application.
+	RecordOps bool
 }
 
 // Runtime glues the scheduler, the PM device and the trace recorder.
@@ -64,6 +70,10 @@ type Runtime struct {
 	Pool  *pmem.Pool
 	Heap  *pmem.Heap
 	Trace *trace.Trace
+	// Ops is the device-op journal recorded under Config.RecordOps, in
+	// execution order (the cooperative scheduler serializes all device
+	// accesses, so journal order is device order).
+	Ops []pmem.Op
 
 	nextLock uint64
 
@@ -172,6 +182,30 @@ func (c *Ctx) emit(e trace.Event) {
 	}
 }
 
+// lastSeq returns the trace index of the most recently emitted event, or -1
+// when tracing is disabled.
+func (c *Ctx) lastSeq() int {
+	if c.r.cfg.NoTrace {
+		return -1
+	}
+	return len(c.r.Trace.Events) - 1
+}
+
+// journal appends a device op under Config.RecordOps. data is copied —
+// callers reuse stack buffers. Must be called AFTER the matching emit so
+// seq correlation via lastSeq is stable.
+func (c *Ctx) journal(kind pmem.OpKind, addr uint64, size uint32, data []byte, seq int) {
+	if !c.r.cfg.RecordOps {
+		return
+	}
+	var cp []byte
+	if data != nil {
+		cp = make([]byte, len(data))
+		copy(cp, data)
+	}
+	c.r.Ops = append(c.r.Ops, pmem.Op{Kind: kind, TID: c.th.ID(), Addr: addr, Size: size, Data: cp, Seq: seq})
+}
+
 // Store writes data to PM at addr (a cached, temporal store: visible
 // immediately, persistent only after flush+fence).
 func (c *Ctx) Store(addr uint64, data []byte) {
@@ -183,6 +217,7 @@ func (c *Ctx) storeAt(site sites.ID, addr uint64, data []byte) {
 	c.pre(trace.KStore, addr, uint32(len(data)))
 	c.r.Pool.Store(c.th.ID(), addr, data, int32(site))
 	c.emit(trace.Event{Kind: trace.KStore, TID: c.th.ID(), Addr: addr, Size: uint32(len(data)), Site: site})
+	c.journal(pmem.OpStore, addr, uint32(len(data)), data, c.lastSeq())
 }
 
 // Store8 writes a uint64 (little-endian).
@@ -214,6 +249,7 @@ func (c *Ctx) NTStore8(addr uint64, v uint64) {
 	c.pre(trace.KNTStore, addr, 8)
 	c.r.Pool.NTStore(c.th.ID(), addr, b[:], int32(site))
 	c.emit(trace.Event{Kind: trace.KNTStore, TID: c.th.ID(), Addr: addr, Size: 8, Site: site})
+	c.journal(pmem.OpNTStore, addr, 8, b[:], c.lastSeq())
 }
 
 // Load reads size bytes from PM at addr.
@@ -255,6 +291,7 @@ func (c *Ctx) Flush(addr uint64) {
 	c.pre(trace.KFlush, addr, 0)
 	c.r.Pool.Flush(c.th.ID(), addr)
 	c.emit(trace.Event{Kind: trace.KFlush, TID: c.th.ID(), Addr: pmem.LineOf(addr) * pmem.LineSize, Site: site})
+	c.journal(pmem.OpFlush, addr, 0, nil, c.lastSeq())
 }
 
 // Fence issues an SFENCE, completing this thread's pending flushes.
@@ -263,6 +300,7 @@ func (c *Ctx) Fence() {
 	c.pre(trace.KFence, 0, 0)
 	c.r.Pool.Fence(c.th.ID())
 	c.emit(trace.Event{Kind: trace.KFence, TID: c.th.ID(), Site: site})
+	c.journal(pmem.OpFence, 0, 0, nil, c.lastSeq())
 }
 
 // Persist flushes every line of [addr, addr+size) and fences: the idiomatic
@@ -278,11 +316,13 @@ func (c *Ctx) Persist(addr uint64, size uint64) {
 			c.pre(trace.KFlush, l*pmem.LineSize, 0)
 			c.r.Pool.Flush(c.th.ID(), l*pmem.LineSize)
 			c.emit(trace.Event{Kind: trace.KFlush, TID: c.th.ID(), Addr: l * pmem.LineSize, Site: site})
+			c.journal(pmem.OpFlush, l*pmem.LineSize, 0, nil, c.lastSeq())
 		}
 	}
 	c.pre(trace.KFence, 0, 0)
 	c.r.Pool.Fence(c.th.ID())
 	c.emit(trace.Event{Kind: trace.KFence, TID: c.th.ID(), Site: site})
+	c.journal(pmem.OpFence, 0, 0, nil, c.lastSeq())
 }
 
 // CAS8 performs an atomic compare-and-swap of the uint64 at addr. It is a
@@ -299,6 +339,9 @@ func (c *Ctx) CAS8(addr uint64, old, new uint64) bool {
 	}
 	c.r.Pool.Store8(c.th.ID(), addr, new, int32(site))
 	c.emit(trace.Event{Kind: trace.KStore, TID: c.th.ID(), Addr: addr, Size: 8, Site: site})
+	var nb [8]byte
+	binary.LittleEndian.PutUint64(nb[:], new)
+	c.journal(pmem.OpStore, addr, 8, nb[:], c.lastSeq())
 	return true
 }
 
@@ -345,6 +388,11 @@ func (c *Ctx) Free(addr uint64) { c.r.Heap.Free(addr) }
 func (c *Ctx) Zero(addr uint64, size uint64) {
 	buf := make([]byte, size)
 	c.r.Pool.Store(c.th.ID(), addr, buf, 0)
+	if c.r.cfg.RecordOps {
+		// nil Data + Size encodes "Size zero bytes"; Seq -1 marks the op as
+		// untraced.
+		c.r.Ops = append(c.r.Ops, pmem.Op{Kind: pmem.OpStore, TID: c.th.ID(), Addr: addr, Size: uint32(size), Seq: -1})
+	}
 }
 
 // Yield cedes the virtual CPU (coverage/diversity aid in workload drivers).

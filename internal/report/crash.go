@@ -1,0 +1,114 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"hawkset/internal/crashinject"
+)
+
+// CrashCheck is one application's outcome in a pmcheck run: the end-of-run
+// crash-image validation and, when fault injection is enabled, the
+// crash-point campaign.
+type CrashCheck struct {
+	Application string `json:"application"`
+	Fixed       bool   `json:"fixed"`
+	// Violations are the end-of-run crash-image validation failures.
+	Violations []string `json:"violations,omitempty"`
+	// Skipped explains why the application was not checked (e.g. it
+	// registers no crash validator).
+	Skipped string `json:"skipped,omitempty"`
+	// Campaign is the fault-injection campaign result (pmcheck -inject).
+	Campaign *crashinject.Campaign `json:"campaign,omitempty"`
+	// Failed marks the application as failing the check.
+	Failed bool `json:"failed"`
+}
+
+// CrashDocument is the top-level JSON document of a pmcheck run.
+type CrashDocument struct {
+	Tool        string       `json:"tool"`
+	GeneratedAt time.Time    `json:"generated_at"`
+	Strategy    string       `json:"strategy,omitempty"`
+	Checks      []CrashCheck `json:"checks"`
+}
+
+// NewCrashDocument builds an empty pmcheck document.
+func NewCrashDocument(strategy string) *CrashDocument {
+	return &CrashDocument{
+		Tool:        "pmcheck (hawkset Go reproduction)",
+		GeneratedAt: time.Now().UTC(),
+		Strategy:    strategy,
+	}
+}
+
+// FailedApps counts the applications that failed their check.
+func (d *CrashDocument) FailedApps() int {
+	n := 0
+	for _, c := range d.Checks {
+		if c.Failed {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteJSON emits the document as indented JSON.
+func (d *CrashDocument) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteText emits the human-readable listing; maxShow caps the violations
+// and failing points printed per application.
+func (d *CrashDocument) WriteText(w io.Writer, maxShow int) error {
+	for _, c := range d.Checks {
+		if err := c.writeText(w, maxShow); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *CrashCheck) writeText(w io.Writer, maxShow int) error {
+	if c.Skipped != "" {
+		_, err := fmt.Fprintf(w, "%-15s (%s)\n", c.Application, c.Skipped)
+		return err
+	}
+	if len(c.Violations) == 0 {
+		if _, err := fmt.Fprintf(w, "%-15s crash image CONSISTENT\n", c.Application); err != nil {
+			return err
+		}
+	} else {
+		if _, err := fmt.Fprintf(w, "%-15s crash image CORRUPT: %d violation(s)\n", c.Application, len(c.Violations)); err != nil {
+			return err
+		}
+		for i, v := range c.Violations {
+			if i >= maxShow {
+				fmt.Fprintf(w, "    ... and %d more\n", len(c.Violations)-i) //nolint:errcheck // best-effort text output
+				break
+			}
+			fmt.Fprintf(w, "    %s\n", v) //nolint:errcheck
+		}
+	}
+	if c.Campaign == nil {
+		return nil
+	}
+	cp := c.Campaign
+	if _, err := fmt.Fprintf(w, "%-15s %s campaign: %d/%d crash points failed (%d enumerated, %d skipped by budget, %d by deadline)\n",
+		"", cp.Strategy, cp.Failed, cp.Tested, cp.Enumerated, cp.SkippedBudget, cp.SkippedDeadline); err != nil {
+		return err
+	}
+	shown := 0
+	for _, p := range cp.Failures() {
+		if shown >= maxShow {
+			fmt.Fprintf(w, "    ... and %d more failing points\n", cp.Failed-shown) //nolint:errcheck
+			break
+		}
+		fmt.Fprintf(w, "    point %d (after %s, event %d): %s\n", p.Pos, p.Op, p.Seq, p.Inconsistent) //nolint:errcheck
+		shown++
+	}
+	return nil
+}

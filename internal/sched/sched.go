@@ -15,9 +15,22 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
+)
+
+// Sentinel causes a Run error wraps, so harnesses driving untrusted code
+// (the crash-injection campaign runs app recovery on torn images) can
+// classify failures with errors.Is instead of string matching.
+var (
+	// ErrAppPanic: a simulated thread's application code panicked.
+	ErrAppPanic = errors.New("panicked")
+	// ErrStepBound: the run exceeded its scheduling-step bound (livelock).
+	ErrStepBound = errors.New("step bound exceeded")
+	// ErrDeadlock: every live thread is blocked.
+	ErrDeadlock = errors.New("deadlock")
 )
 
 // State describes a simulated thread's lifecycle.
@@ -108,7 +121,7 @@ func (t *Thread) run(fn func(t *Thread)) {
 			if !ok {
 				// Application panic: surface it as the run result rather than
 				// crashing the host test binary asynchronously.
-				t.s.finish(fmt.Errorf("sched: thread %d panicked: %v", t.id, r))
+				t.s.finish(fmt.Errorf("sched: thread %d %w: %v", t.id, ErrAppPanic, r))
 				return
 			}
 			if ss.err != nil {
@@ -197,7 +210,7 @@ func (t *Thread) exit() {
 	s := t.s
 	if len(s.runnable) == 0 {
 		if blocked := s.blockedThreads(); len(blocked) > 0 {
-			s.finish(fmt.Errorf("sched: deadlock — all live threads blocked: %v", blocked))
+			s.finish(fmt.Errorf("sched: %w — all live threads blocked: %v", ErrDeadlock, blocked))
 			return
 		}
 		s.finish(nil)
@@ -226,10 +239,10 @@ func (s *Scheduler) dispatch() {
 
 func (s *Scheduler) pick() (*Thread, error) {
 	if s.maxSteps > 0 && s.steps >= s.maxSteps {
-		return nil, fmt.Errorf("sched: step bound %d exceeded (livelock?)", s.maxSteps)
+		return nil, fmt.Errorf("sched: %w: step bound %d (livelock?)", ErrStepBound, s.maxSteps)
 	}
 	if len(s.runnable) == 0 {
-		return nil, fmt.Errorf("sched: deadlock — all live threads blocked: %v", s.blockedThreads())
+		return nil, fmt.Errorf("sched: %w — all live threads blocked: %v", ErrDeadlock, s.blockedThreads())
 	}
 	s.steps++
 	if s.pct != nil {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"hawkset/internal/sites"
 )
@@ -31,6 +32,21 @@ const (
 )
 
 var errBadMagic = errors.New("trace: bad magic (not a HawkSet trace file)")
+
+// Decoding limits. Counts in the header are untrusted varints: a corrupt or
+// malicious file can claim 2^64 sites or events, so no count is trusted for
+// allocation — preallocation is capped and the real length is whatever the
+// stream actually delivers before EOF.
+const (
+	// maxSites bounds the site table. Each decoded site consumes at least
+	// three input bytes, so this also bounds header-driven looping.
+	maxSites = 1 << 24
+	// maxEventPrealloc caps the event-slice preallocation; larger traces
+	// grow by append, paying only for events actually present.
+	maxEventPrealloc = 1 << 20
+	// maxString bounds a single decoded string (file or function name).
+	maxString = 1 << 20
+)
 
 // Encode writes the trace in the binary format.
 func Encode(w io.Writer, t *Trace) error {
@@ -100,18 +116,21 @@ func Decode(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	if nsites > maxSites {
+		return nil, fmt.Errorf("trace: implausible site count %d (corrupt header?)", nsites)
+	}
 	for i := uint64(0); i < nsites; i++ {
 		file, err := getString(br)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("trace: site %d: %w", i+1, err)
 		}
 		line, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("trace: site %d: %w", i+1, err)
 		}
 		fn, err := getString(br)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("trace: site %d: %w", i+1, err)
 		}
 		t.Sites.Append(sites.Frame{File: file, Line: int(line), Func: fn})
 	}
@@ -119,9 +138,18 @@ func Decode(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.Events = make([]Event, 0, nevents)
+	// The claimed count is untrusted: cap the preallocation and let append
+	// grow the slice only as far as the stream actually decodes.
+	prealloc := nevents
+	if prealloc > maxEventPrealloc {
+		prealloc = maxEventPrealloc
+	}
+	t.Events = make([]Event, 0, prealloc)
+	// IDs are validated against the decoded table: nsites frames plus the
+	// reserved ID 0 — analyses index the site table without re-checking.
+	siteLimit := sites.ID(nsites + 1)
 	for i := uint64(0); i < nevents; i++ {
-		e, err := decodeEvent(br)
+		e, err := decodeEvent(br, siteLimit)
 		if err != nil {
 			return nil, fmt.Errorf("trace: event %d: %w", i, err)
 		}
@@ -130,7 +158,7 @@ func Decode(r io.Reader) (*Trace, error) {
 	return t, nil
 }
 
-func decodeEvent(br *bufio.Reader) (Event, error) {
+func decodeEvent(br *bufio.Reader, siteLimit sites.ID) (Event, error) {
 	var e Event
 	k, err := br.ReadByte()
 	if err != nil {
@@ -141,10 +169,16 @@ func decodeEvent(br *bufio.Reader) (Event, error) {
 	if err != nil {
 		return e, err
 	}
+	if tid > math.MaxInt32 {
+		return e, fmt.Errorf("thread ID %d out of range", tid)
+	}
 	e.TID = int32(tid)
 	site, err := binary.ReadUvarint(br)
 	if err != nil {
 		return e, err
+	}
+	if site >= uint64(siteLimit) {
+		return e, fmt.Errorf("site ID %d out of range (table has %d frames)", site, siteLimit)
 	}
 	e.Site = sites.ID(site)
 	switch e.Kind {
@@ -155,6 +189,9 @@ func decodeEvent(br *bufio.Reader) (Event, error) {
 		sz, err := binary.ReadUvarint(br)
 		if err != nil {
 			return e, err
+		}
+		if sz > math.MaxUint32 {
+			return e, fmt.Errorf("access size %d out of range", sz)
 		}
 		e.Size = uint32(sz)
 	case KFlush:
@@ -170,6 +207,9 @@ func decodeEvent(br *bufio.Reader) (Event, error) {
 		kid, err := binary.ReadUvarint(br)
 		if err != nil {
 			return e, err
+		}
+		if kid > math.MaxInt32 {
+			return e, fmt.Errorf("thread ID %d out of range", kid)
 		}
 		e.Kid = int32(kid)
 	default:
@@ -194,7 +234,7 @@ func getString(br *bufio.Reader) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if n > 1<<20 {
+	if n > maxString {
 		return "", fmt.Errorf("trace: string length %d too large", n)
 	}
 	buf := make([]byte, n)

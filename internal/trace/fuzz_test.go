@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the trace decoder. Decode consumes
+// files from outside the process (cmd/hawkset -trace-in), so it must treat
+// every byte as hostile: no panic, no unbounded allocation, and any
+// successfully-decoded trace must be internally consistent (site IDs inside
+// the decoded table) and re-encode to a byte stream that decodes to the
+// same trace.
+func FuzzDecode(f *testing.F) {
+	var valid bytes.Buffer
+	if err := Encode(&valid, sampleTrace()); err != nil {
+		f.Fatal(err)
+	}
+	raw := valid.Bytes()
+	f.Add(raw)
+	f.Add([]byte{})
+	f.Add([]byte("NOPE...."))
+	f.Add(raw[:len(raw)/2]) // truncated mid-stream
+	// Bit-flipped variants of the valid trace: corruption that keeps the
+	// magic intact and lands inside counts, IDs and string lengths.
+	for _, bit := range []int{4*8 + 1, 6 * 8, 8*8 + 3, (len(raw) / 2) * 8, (len(raw) - 2) * 8} {
+		fl := append([]byte(nil), raw...)
+		fl[bit/8] ^= 1 << (bit % 8)
+		f.Add(fl)
+	}
+	// A header claiming 2^40 events with no data behind it: the decoder
+	// must fail at EOF, not allocate for the claim.
+	var bomb bytes.Buffer
+	bomb.WriteString(magic)
+	var tmp [binary.MaxVarintLen64]byte
+	bomb.Write(tmp[:binary.PutUvarint(tmp[:], version)])
+	bomb.Write(tmp[:binary.PutUvarint(tmp[:], 0)])       // nsites
+	bomb.Write(tmp[:binary.PutUvarint(tmp[:], 1<<40)])   // nevents
+	f.Add(bomb.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: all the decoder promises for bad input
+		}
+		frames := len(tr.Sites.Frames())
+		for i, e := range tr.Events {
+			if int(e.Site) >= frames || e.Site < 0 {
+				t.Fatalf("event %d: site %d outside decoded table (%d frames)", i, e.Site, frames)
+			}
+			if e.TID < 0 || e.Kid < 0 {
+				t.Fatalf("event %d: negative thread ID (%d/%d)", i, e.TID, e.Kid)
+			}
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			t.Fatalf("re-encoding accepted trace: %v", err)
+		}
+		again, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-decoding re-encoded trace: %v", err)
+		}
+		if !reflect.DeepEqual(again.Events, tr.Events) {
+			t.Fatalf("re-encode round trip changed events")
+		}
+	})
+}
