@@ -8,6 +8,9 @@
 #                   analysis (internal/hawkset, exercised from the root
 #                   package's app-workload differential test) and the
 #                   cooperative scheduler (internal/sched)
+#   go test -bench  one iteration of every benchmark — a smoke test that
+#                   the benchmark harness still compiles and runs, not a
+#                   performance measurement
 #   pmlint      static PM-misuse checks over the pmrt API; the committed
 #               baseline records the intentional findings (the apps embed
 #               the paper's Table 2 bugs), so only NEW findings fail
@@ -21,6 +24,7 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race . ./internal/hawkset ./internal/sched
+go test -run '^$' -bench . -benchtime 1x ./...
 go run ./cmd/pmlint -baseline pmlint.baseline ./...
 
 if go run ./cmd/pmcheck -app Fast-Fair -ops 800 -inject -budget 8 -deadline 60s; then

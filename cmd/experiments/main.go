@@ -19,7 +19,9 @@ import (
 
 	"hawkset/internal/apps"
 	"hawkset/internal/baseline/durinn"
+	"hawkset/internal/crashinject"
 	"hawkset/internal/expmt"
+	"hawkset/internal/obscli"
 	"hawkset/internal/ycsb"
 
 	_ "hawkset/internal/apps/apex"
@@ -47,10 +49,18 @@ func main() {
 		seeds = flag.Int("seeds", 240, "seed-corpus size for Table 3 (paper: 240)")
 		sizes = flag.String("sizes", "1000,10000,100000", "workload sizes for Figure 6")
 		seed  = flag.Int64("seed", 42, "base seed")
-		wrk   = flag.Int("workers", 0, "stage ③ analysis goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical for any value")
+		wrk      = flag.Int("workers", 0, "stage ③ analysis goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical for any value")
+		progress = flag.Bool("progress", false, "print periodic crash-campaign progress lines to stderr")
 	)
+	var obsFlags obscli.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
+	if err := obsFlags.StartPprof(); err != nil {
+		check(err)
+	}
+	metrics := obsFlags.Registry()
 	expmt.AnalysisWorkers = *wrk
+	expmt.Metrics = metrics
 	if !*t2 && !*t3 && !*t4 && !*f6 && !*dur && !*auto && !*crash && !*all {
 		flag.Usage()
 		os.Exit(2)
@@ -95,6 +105,16 @@ func main() {
 		cfg := expmt.DefaultCrashTableConfig()
 		cfg.Seed = *seed
 		cfg.Ops = *crOps
+		cfg.Metrics = metrics
+		if *progress {
+			cfg.OnProgress = func(p crashinject.Progress) {
+				if p.Done {
+					return // the table row reports the final numbers
+				}
+				fmt.Fprintf(os.Stderr, "experiments: %s %s campaign %d/%d points (%.1f pts/s)\n",
+					p.Target, p.Strategy, p.Tested, p.Selected, p.PointsPerSec)
+			}
+		}
 		rows, err := expmt.CrashTable(cfg)
 		check(err)
 		fmt.Println(expmt.FormatCrashTable(rows))
@@ -140,6 +160,8 @@ func main() {
 		check(err)
 		fmt.Println(expmt.FormatTable3(res))
 	}
+
+	check(obsFlags.Dump(metrics))
 }
 
 func check(err error) {

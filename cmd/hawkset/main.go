@@ -19,6 +19,7 @@ import (
 
 	"hawkset/internal/apps"
 	"hawkset/internal/hawkset"
+	"hawkset/internal/obscli"
 	"hawkset/internal/report"
 	"hawkset/internal/trace"
 	"hawkset/internal/ycsb"
@@ -56,7 +57,13 @@ func main() {
 		traceOut = flag.String("trace-out", "", "write the captured trace to this file")
 		traceIn  = flag.String("trace-in", "", "skip execution; analyze this trace file")
 	)
+	var obsFlags obscli.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
+	if err := obsFlags.StartPprof(); err != nil {
+		fatal(err)
+	}
+	metrics := obsFlags.Registry()
 
 	if *list {
 		fmt.Println("Registered applications (Table 1):")
@@ -74,6 +81,7 @@ func main() {
 	cfg.StoreStore = *ss
 	cfg.EADR = *anaEADR
 	cfg.Workers = *workers
+	cfg.Metrics = metrics
 
 	var tr *trace.Trace
 	var entry *apps.Entry
@@ -129,7 +137,7 @@ func main() {
 			fmt.Printf("workload written to %s\n", *wlOut)
 		}
 		start := time.Now()
-		rt, err := apps.Run(entry, w, apps.RunConfig{Seed: *seed, Fixed: *fixed, EADR: *eadr})
+		rt, err := apps.Run(entry, w, apps.RunConfig{Seed: *seed, Fixed: *fixed, EADR: *eadr, Metrics: metrics})
 		if err != nil {
 			fatal(err)
 		}
@@ -209,6 +217,9 @@ func main() {
 		fmt.Printf("  vclocks interned    %d\n", s.VClocksInterned)
 		fmt.Printf("  pairs checked       %d (HB-filtered %d, lock-protected %d)\n",
 			s.PairsChecked, s.PairsHBFiltered, s.PairsLockFiltered)
+	}
+	if err := obsFlags.Dump(metrics); err != nil {
+		fatal(err)
 	}
 }
 

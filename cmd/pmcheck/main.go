@@ -23,9 +23,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"hawkset/internal/apps"
 	"hawkset/internal/crashinject"
+	"hawkset/internal/obs"
+	"hawkset/internal/obscli"
 	"hawkset/internal/report"
 
 	_ "hawkset/internal/apps/apex"
@@ -52,8 +55,15 @@ func main() {
 		budget   = flag.Int("budget", 0, "crash points tested per campaign (0 = default, negative = unlimited)")
 		deadline = flag.Duration("deadline", 0, "wall-clock bound per campaign (0 = none)")
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON document")
+		progress = flag.Bool("progress", false, "print a periodic campaign progress line to stderr")
 	)
+	var obsFlags obscli.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
+	if err := obsFlags.StartPprof(); err != nil {
+		fatal(err)
+	}
+	metrics := obsFlags.Registry()
 
 	strat, err := crashinject.ParseStrategy(*strategy)
 	if err != nil {
@@ -73,11 +83,16 @@ func main() {
 	if *inject {
 		stratName = strat.String()
 	}
+	campCfg := crashinject.Config{
+		Strategy: strat, Budget: *budget, Deadline: *deadline, Seed: *seed,
+		Metrics: metrics,
+	}
+	if *progress {
+		campCfg.OnProgress = printProgress
+	}
 	doc := report.NewCrashDocument(stratName)
 	for _, e := range entries {
-		c, err := checkOne(e, *ops, *seed, *fixed, *inject, crashinject.Config{
-			Strategy: strat, Budget: *budget, Deadline: *deadline, Seed: *seed,
-		})
+		c, err := checkOne(e, *ops, *seed, *fixed, *inject, metrics, campCfg)
 		if err != nil {
 			if *all {
 				doc.Checks = append(doc.Checks, report.CrashCheck{
@@ -98,6 +113,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if err := obsFlags.Dump(metrics); err != nil {
+		fatal(err)
+	}
 	failed := doc.FailedApps()
 	if failed > 100 {
 		failed = 100
@@ -105,10 +123,25 @@ func main() {
 	os.Exit(failed)
 }
 
+// printProgress renders one campaign progress sample as a stderr status
+// line. Progress is presentation-only; nothing here reaches the document.
+func printProgress(p crashinject.Progress) {
+	eta := ""
+	if p.ETA > 0 {
+		eta = fmt.Sprintf(", eta %s", p.ETA.Round(time.Second))
+	}
+	state := "..."
+	if p.Done {
+		state = "done"
+	}
+	fmt.Fprintf(os.Stderr, "pmcheck: %s %s campaign %s %d/%d points (%d failed, %.1f pts/s%s)\n",
+		p.Target, p.Strategy, state, p.Tested, p.Selected, p.Failed, p.PointsPerSec, eta)
+}
+
 // checkOne validates one application: the end-of-run crash image always,
 // plus the fault-injection campaign when requested.
-func checkOne(e *apps.Entry, ops int, seed int64, fixed, inject bool, cfg crashinject.Config) (*report.CrashCheck, error) {
-	violations, err := apps.RunAndValidate(e, ops, seed, apps.RunConfig{Seed: seed, Fixed: fixed})
+func checkOne(e *apps.Entry, ops int, seed int64, fixed, inject bool, metrics *obs.Registry, cfg crashinject.Config) (*report.CrashCheck, error) {
+	violations, err := apps.RunAndValidate(e, ops, seed, apps.RunConfig{Seed: seed, Fixed: fixed, Metrics: metrics})
 	if err != nil {
 		return nil, fmt.Errorf("no crash validator: %w", err)
 	}

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"hawkset/internal/hawkset"
+	"hawkset/internal/obs"
 	"hawkset/internal/pmrt"
 	"hawkset/internal/ycsb"
 )
@@ -187,6 +188,9 @@ type RunConfig struct {
 	// InstrumentAllocs records PM allocations in the trace (the §7
 	// extension; pairs with hawkset.Config.AllocAware).
 	InstrumentAllocs bool
+	// Metrics, when non-nil, receives the runtime's and device's side-band
+	// counters (see pmrt.Config.Metrics). Execution is unaffected.
+	Metrics *obs.Registry
 }
 
 // Run executes a workload against a fresh instance of the application under
@@ -205,6 +209,7 @@ func Run(e *Entry, w *ycsb.Workload, cfg RunConfig) (*pmrt.Runtime, error) {
 		NoTrace:          cfg.NoTrace,
 		TrackWriters:     cfg.TrackWriters,
 		InstrumentAllocs: cfg.InstrumentAllocs,
+		Metrics:          cfg.Metrics,
 	})
 	app := e.Factory(rt, cfg.Fixed)
 	return rt, RunOn(rt, app, w)

@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"hawkset/internal/obs"
 	"hawkset/internal/pmem"
 	"hawkset/internal/sched"
 )
@@ -95,6 +96,18 @@ type Config struct {
 	// a livelocked recovery on a torn image into a deterministic hung
 	// verdict. 0 means 1<<20.
 	RecoverySteps uint64
+	// Metrics, when non-nil, receives side-band campaign counters (point
+	// accounting, verdict tallies, per-point duration). The campaign result
+	// is byte-identical with or without it.
+	Metrics *obs.Registry
+	// OnProgress, when set, receives throttled progress samples while the
+	// campaign runs (at most one per ProgressEvery) plus one final sample
+	// with Done set. Long sweeps (AfterStore over a large journal) otherwise
+	// run silent for minutes.
+	OnProgress func(Progress)
+	// ProgressEvery is the minimum interval between OnProgress samples.
+	// 0 means 1s.
+	ProgressEvery time.Duration
 }
 
 // DefaultBudget is the per-campaign point cap when Config.Budget is 0.
@@ -110,7 +123,34 @@ func (c Config) withDefaults() Config {
 	if c.RecoverySteps == 0 {
 		c.RecoverySteps = 1 << 20
 	}
+	if c.ProgressEvery == 0 {
+		c.ProgressEvery = time.Second
+	}
 	return c
+}
+
+// Progress is one campaign progress sample, delivered via Config.OnProgress.
+// Progress is presentation-only (a status line, a TUI): it carries wall-clock
+// rates and must never be folded into a campaign result or report document.
+type Progress struct {
+	Target   string
+	Strategy string
+	// Tested counts points probed so far; Selected is the sampled total the
+	// campaign will test (after budget, before any deadline skip).
+	Tested   int
+	Selected int
+	Failed   int
+	// SkippedBudget counts enumerated points dropped by sampling.
+	SkippedBudget int
+	Elapsed       time.Duration
+	// PointsPerSec is the campaign's current throughput (0 until measurable).
+	PointsPerSec float64
+	// ETA estimates the time remaining at the current rate (0 when unknown
+	// or done).
+	ETA time.Duration
+	// Done marks the final sample, sent after the last point (or the
+	// deadline) regardless of throttling.
+	Done bool
 }
 
 // VerdictInconsistent is a failing crash point's outcome: what went wrong
@@ -174,9 +214,13 @@ type Campaign struct {
 	// SkippedBudget counts enumerated points dropped by sampling.
 	SkippedBudget int `json:"skipped_budget"`
 	// SkippedDeadline counts sampled points abandoned at the deadline.
-	SkippedDeadline int           `json:"skipped_deadline"`
-	ElapsedMS       int64         `json:"elapsed_ms"`
-	Points          []PointResult `json:"points,omitempty"`
+	SkippedDeadline int `json:"skipped_deadline"`
+	// ElapsedMS is wall-clock accounting for interactive display only. It is
+	// excluded from JSON so campaign documents stay byte-identical across
+	// runs (the side-band invariant: wall-clock values live in metrics
+	// snapshots and progress samples, never in result documents).
+	ElapsedMS int64         `json:"-"`
+	Points    []PointResult `json:"points,omitempty"`
 }
 
 // Failures returns the failing points.
@@ -349,6 +393,28 @@ func RunCampaign(t *Target, cfg Config) (*Campaign, error) {
 	}
 	sel := samplePoints(t, pts, cfg.Budget, cfg.Seed)
 	camp.SkippedBudget = len(pts) - len(sel)
+	cfg.Metrics.Counter("crashinject.points.enumerated").Add(uint64(len(pts)))
+	cfg.Metrics.Counter("crashinject.points.skipped_budget").Add(uint64(camp.SkippedBudget))
+	mTested := cfg.Metrics.Counter("crashinject.points.tested")
+	mFailed := cfg.Metrics.Counter("crashinject.points.failed")
+	mPoint := cfg.Metrics.Histogram("crashinject.point")
+	progress := func(done bool) Progress {
+		elapsed := time.Since(start)
+		p := Progress{
+			Target: t.Name, Strategy: camp.Strategy,
+			Tested: camp.Tested, Selected: len(sel), Failed: camp.Failed,
+			SkippedBudget: camp.SkippedBudget,
+			Elapsed:       elapsed, Done: done,
+		}
+		if elapsed > 0 && camp.Tested > 0 {
+			p.PointsPerSec = float64(camp.Tested) / elapsed.Seconds()
+			if remaining := len(sel) - camp.Tested; remaining > 0 && !done {
+				p.ETA = time.Duration(float64(remaining) / p.PointsPerSec * float64(time.Second))
+			}
+		}
+		return p
+	}
+	lastProgress := start
 
 	var deadline time.Time
 	if cfg.Deadline > 0 {
@@ -366,15 +432,48 @@ func RunCampaign(t *Target, cfg Config) (*Campaign, error) {
 			Pos: pos, Seq: t.Ops[pos-1].Seq, Op: t.Ops[pos-1].Kind.String(),
 			Quiescent: t.Quiescent == nil || t.Quiescent(pos),
 		}
+		stopPoint := mPoint.Time()
 		pr.Inconsistent, scratch = testPoint(t, cfg, rep.Pool(), pr.Quiescent, scratch)
+		stopPoint()
+		mTested.Inc()
 		if pr.Failed() {
 			camp.Failed++
+			mFailed.Inc()
 		}
+		tallyVerdict(cfg.Metrics, pr.Inconsistent)
 		camp.Points = append(camp.Points, pr)
 		camp.Tested++
+		if cfg.OnProgress != nil && time.Since(lastProgress) >= cfg.ProgressEvery {
+			lastProgress = time.Now()
+			cfg.OnProgress(progress(false))
+		}
 	}
+	cfg.Metrics.Counter("crashinject.points.skipped_deadline").Add(uint64(camp.SkippedDeadline))
+	cfg.Metrics.Counter("crashinject.ops_replayed").Add(uint64(rep.Pos()))
 	camp.ElapsedMS = time.Since(start).Milliseconds()
+	if cfg.OnProgress != nil {
+		cfg.OnProgress(progress(true))
+	}
 	return camp, nil
+}
+
+// tallyVerdict counts one point's outcome into the verdict counters.
+func tallyVerdict(m *obs.Registry, v *VerdictInconsistent) {
+	if m == nil {
+		return
+	}
+	switch {
+	case v == nil:
+		m.Counter("crashinject.verdict.consistent").Inc()
+	case v.Hung:
+		m.Counter("crashinject.verdict.hung").Inc()
+	case v.Panic != "":
+		m.Counter("crashinject.verdict.panics").Inc()
+	case v.RecoveryErr != "":
+		m.Counter("crashinject.verdict.recovery_errors").Inc()
+	default:
+		m.Counter("crashinject.verdict.violations").Inc()
+	}
 }
 
 // dedupe keeps the first occurrence of each string, preserving order.

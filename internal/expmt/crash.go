@@ -7,6 +7,7 @@ import (
 
 	"hawkset/internal/apps"
 	"hawkset/internal/crashinject"
+	"hawkset/internal/obs"
 )
 
 // CrashRow is one (application, strategy) line of the crash-injection
@@ -35,6 +36,10 @@ type CrashTableConfig struct {
 	// Ops overrides the per-application workload size (0 = Table2Ops).
 	Ops        int
 	Strategies []crashinject.Strategy
+	// Metrics and OnProgress pass through to every campaign's
+	// crashinject.Config (side-band observability; rows are unaffected).
+	Metrics    *obs.Registry
+	OnProgress func(crashinject.Progress)
 }
 
 // DefaultCrashTableConfig sweeps every strategy with a modest budget.
@@ -66,6 +71,7 @@ func CrashTable(cfg CrashTableConfig) ([]CrashRow, error) {
 		for _, s := range cfg.Strategies {
 			camp, err := crashinject.RunCampaign(target, crashinject.Config{
 				Strategy: s, Budget: cfg.Budget, Deadline: cfg.Deadline, Seed: cfg.Seed,
+				Metrics: cfg.Metrics, OnProgress: cfg.OnProgress,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", e.Name, s, err)

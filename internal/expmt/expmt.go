@@ -23,6 +23,7 @@ import (
 	"hawkset/internal/apps"
 	"hawkset/internal/baseline/pmrace"
 	"hawkset/internal/hawkset"
+	"hawkset/internal/obs"
 	"hawkset/internal/ycsb"
 )
 
@@ -31,11 +32,18 @@ import (
 // results are identical for any value; only the analysis wall time moves.
 var AnalysisWorkers int
 
+// Metrics, when non-nil, is threaded into every analysis the experiments
+// run (hawkset.Config.Metrics). Side-band only: experiment rows are
+// identical with or without it. Like AnalysisWorkers it is a harness-wide
+// knob set once by cmd/experiments before any experiment runs.
+var Metrics *obs.Registry
+
 // analysisConfig is the paper's configuration with the harness-wide worker
 // count applied.
 func analysisConfig() hawkset.Config {
 	cfg := hawkset.DefaultConfig()
 	cfg.Workers = AnalysisWorkers
+	cfg.Metrics = Metrics
 	return cfg
 }
 

@@ -55,24 +55,32 @@ func analyze(res *Result, cfg Config) {
 	}
 	sort.Slice(lineKeys, func(i, j int) bool { return lineKeys[i] < lineKeys[j] })
 
+	cfg.Metrics.Gauge("hawkset.analyze.buckets").Set(int64(len(lineKeys)))
 	shards := partitionLines(buckets, lineKeys, workerCount(cfg, len(lineKeys)), cfg.StoreStore)
+	cfg.Metrics.Gauge("hawkset.analyze.shards").Set(int64(len(shards)))
 	outs := make([]*shardResult, len(shards))
 	if len(shards) == 1 {
 		// The sequential reference path (Workers=1, or a trace too small to
 		// split).
+		stop := cfg.Metrics.Stage("hawkset.stage.analyze_shard")
 		outs[0] = analyzeShard(res, cfg, buckets, shards[0])
+		stop()
 	} else {
 		var wg sync.WaitGroup
 		for i := range shards {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
+				stop := cfg.Metrics.Stage("hawkset.stage.analyze_shard")
 				outs[i] = analyzeShard(res, cfg, buckets, shards[i])
+				stop()
 			}(i)
 		}
 		wg.Wait()
 	}
+	stopMerge := cfg.Metrics.Stage("hawkset.stage.merge")
 	mergeShards(res, outs)
+	stopMerge()
 }
 
 // workerCount resolves Config.Workers: 0 means GOMAXPROCS, and a shard needs

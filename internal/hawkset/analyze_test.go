@@ -103,9 +103,21 @@ func TestOverlapsAtAddressSpaceTop(t *testing.T) {
 		{top - 15, 8, top - 7, 8, false}, // adjacent, no shared byte
 		{0, 8, top - 7, 8, false},        // opposite ends
 		{top, 1, top, 1, true},           // single last byte
-		{0x100, 8, 0x104, 8, true},       // ordinary overlap still works
-		{0x100, 8, 0x108, 8, false},      // ordinary adjacency still works
-		{0x100, 0, 0x100, 8, false},      // zero-size never overlaps
+		{0x100, 8, 0x104, 8, true},  // ordinary overlap still works
+		{0x100, 8, 0x108, 8, false}, // ordinary adjacency still works
+		// Zero-size accesses read as one byte — the same convention
+		// lastAddrOf and linesOf use. (overlaps used to treat size 0 as an
+		// empty range, so a zero-size store was indexed under a line but
+		// never closable by an overwrite: it pinned an EndNone record.)
+		{0x100, 0, 0x100, 8, true},  // zero-size = 1 byte at addr
+		{0x100, 0, 0x101, 8, false}, // ...and only that byte
+		{0x100, 0, 0x100, 0, true},  // two zero-size at same addr share it
+		{0x107, 0, 0x100, 8, true},  // last byte of the range
+		{0x108, 0, 0x100, 8, false}, // one past the range
+		{top, 0, top, 1, true},      // zero-size at the very top, no wrap
+		{top, 0, top, 0, true},      // both zero-size at the top
+		{top, 0, top - 7, 8, true},  // inside a range ending at top
+		{0, 0, top, 1, false},       // opposite ends, zero-size side
 	}
 	for _, c := range cases {
 		if got := overlaps(c.a, c.as, c.b, c.bs); got != c.want {

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"hawkset/internal/lockset"
+	"hawkset/internal/obs"
 	"hawkset/internal/sites"
 	"hawkset/internal/trace"
 	"hawkset/internal/vclock"
@@ -65,6 +66,14 @@ type Config struct {
 	// deterministically, so reports, their order and the merged Stats are
 	// byte-identical for any worker count.
 	Workers int
+	// Metrics, when non-nil, receives side-band observability data: a live
+	// event-throughput counter, the open-store retention gauges, per-stage
+	// timings (replay ①/② vs analyze ③ vs report sort, including per-shard
+	// timing in the parallel path) and the record/dedup/pair counters.
+	// Strictly side-band: the analysis never reads the registry, so Result,
+	// reports and Stats are byte-identical with Metrics nil or set — no
+	// wall-clock value ever flows into analysis output (see DESIGN.md).
+	Metrics *obs.Registry
 	// EADR analyzes the trace under extended-ADR semantics (§2.1): the
 	// persistent domain includes the cache, so a store is persistent the
 	// moment it becomes visible. No visible-but-unpersisted window exists

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"hawkset/internal/lockset"
+	"hawkset/internal/obs"
 	"hawkset/internal/pmem"
 	"hawkset/internal/sites"
 	"hawkset/internal/trace"
@@ -48,6 +49,16 @@ type replayer struct {
 	onWindow func(StoreWindow)
 
 	stats Stats
+
+	// Side-band metric handles (nil when Config.Metrics is unset; all
+	// methods no-op on nil). mOpenStores counts the entries retained across
+	// the per-line open lists — a store spanning k lines counts k times —
+	// so its high-water mark is the retention detector: closed stores left
+	// in any line's list (the streaming-replay leak) push it without bound,
+	// while a healthy replay keeps it near the true open-window count.
+	mEvents     *obs.Counter
+	mOpenStores *obs.Gauge
+	mLines      *obs.Gauge
 }
 
 type pubState struct {
@@ -109,17 +120,53 @@ type loadKey struct {
 
 func newReplayer(tr *trace.Trace, cfg Config) *replayer {
 	return &replayer{
-		cfg:        cfg,
-		tr:         tr,
-		ls:         lockset.NewTable(),
-		vc:         vclock.NewTable(),
-		threads:    make(map[int32]*threadState),
-		lines:      make(map[uint64][]*openStore),
-		pub:        make(map[uint64]*pubState),
-		allocEpoch: make(map[uint64]uint64),
-		stores:     make(map[storeKey]*StoreData),
-		loads:      make(map[loadKey]*LoadData),
+		cfg:         cfg,
+		tr:          tr,
+		ls:          lockset.NewTable(),
+		vc:          vclock.NewTable(),
+		threads:     make(map[int32]*threadState),
+		lines:       make(map[uint64][]*openStore),
+		pub:         make(map[uint64]*pubState),
+		allocEpoch:  make(map[uint64]uint64),
+		stores:      make(map[storeKey]*StoreData),
+		loads:       make(map[loadKey]*LoadData),
+		mEvents:     cfg.Metrics.Counter("hawkset.replay.events"),
+		mOpenStores: cfg.Metrics.Gauge("hawkset.replay.open_stores"),
+		mLines:      cfg.Metrics.Gauge("hawkset.replay.lines"),
 	}
+}
+
+// setLine writes a compacted line list back, keeping the retention gauges
+// honest: removed entries decrement mOpenStores, and emptied lines leave the
+// map instead of lingering as dead keys.
+func (r *replayer) setLine(line uint64, kept []*openStore, was int) {
+	if removed := was - len(kept); removed > 0 {
+		r.mOpenStores.Add(-int64(removed))
+	}
+	if len(kept) == 0 {
+		delete(r.lines, line)
+	} else {
+		r.lines[line] = kept
+	}
+	r.mLines.Set(int64(len(r.lines)))
+}
+
+// compactLines sweeps closed entries out of every line covered by
+// [addr, addr+size).
+func (r *replayer) compactLines(addr uint64, size uint32) {
+	linesOf(addr, size, func(line uint64) {
+		open, ok := r.lines[line]
+		if !ok {
+			return
+		}
+		kept := open[:0]
+		for _, os := range open {
+			if !os.closed {
+				kept = append(kept, os)
+			}
+		}
+		r.setLine(line, kept, len(open))
+	})
 }
 
 func (r *replayer) thread(tid int32) *threadState {
@@ -150,6 +197,7 @@ func (r *replayer) curVC(tid int32, ts *threadState) vclock.ID {
 // replay and the online Stream).
 func (r *replayer) feed(e trace.Event) {
 	r.stats.Events++
+	r.mEvents.Inc()
 	switch e.Kind {
 	case trace.KStore:
 		r.store(e, false)
@@ -220,12 +268,20 @@ func (r *replayer) touch(tid int32, addr uint64) bool {
 }
 
 // overlaps reports whether [aAddr, aAddr+aSize) and [bAddr, bAddr+bSize)
-// share a byte. The comparisons are in subtraction form: the textbook
-// aAddr < bAddr+bSize wraps when a range ends at the top of the address
-// space, turning a genuine overlap into a miss.
+// share a byte. Size-0 accesses are one byte here, the same convention
+// lastAddrOf and linesOf use: treating the empty range as overlapping
+// nothing let a zero-size store be indexed under its cache line but never
+// closed by an overwrite there, silently pinning an EndNone record (and its
+// line-list entry) for the rest of the session. The comparisons are in
+// subtraction form: the textbook aAddr < bAddr+bSize wraps when a range
+// ends at the top of the address space, turning a genuine overlap into a
+// miss.
 func overlaps(aAddr uint64, aSize uint32, bAddr uint64, bSize uint32) bool {
-	if aSize == 0 || bSize == 0 {
-		return false // an empty range overlaps nothing
+	if aSize == 0 {
+		aSize = 1
+	}
+	if bSize == 0 {
+		bSize = 1
 	}
 	if aAddr >= bAddr {
 		return aAddr-bAddr < uint64(bSize)
@@ -271,20 +327,31 @@ func (r *replayer) store(e trace.Event, nt bool) {
 
 	// Overwrite: close any open store this one overlaps (§3.1.2 — a store's
 	// unpersisted window lasts "until the persistency, or the point where it
-	// is overwritten by another store").
+	// is overwritten by another store"). A closed store spanning lines
+	// beyond the overwriting store's own range must be compacted out of ALL
+	// its lines: sweeping only the shared lines left the dead entry in the
+	// others forever, so long-running Stream sessions grew without bound
+	// and every later flush of those lines re-scanned it.
+	var closedSpanning []*openStore
 	linesOf(e.Addr, e.Size, func(line uint64) {
 		open := r.lines[line]
 		kept := open[:0]
 		for _, os := range open {
 			if !os.closed && overlaps(os.addr, os.size, e.Addr, e.Size) {
 				r.close(os, EndOverwrite, e.TID, ts, vcid)
+				if spansLines(os.addr, os.size) {
+					closedSpanning = append(closedSpanning, os)
+				}
 			}
 			if !os.closed {
 				kept = append(kept, os)
 			}
 		}
-		r.lines[line] = kept
+		r.setLine(line, kept, len(open))
 	})
+	for _, os := range closedSpanning {
+		r.compactLines(os.addr, os.size)
+	}
 
 	os := &openStore{
 		tid:     e.TID,
@@ -297,7 +364,9 @@ func (r *replayer) store(e trace.Event, nt bool) {
 	}
 	linesOf(e.Addr, e.Size, func(line uint64) {
 		r.lines[line] = append(r.lines[line], os)
+		r.mOpenStores.Add(1)
 	})
+	r.mLines.Set(int64(len(r.lines)))
 	if nt {
 		// A non-temporal store bypasses the cache: it is already queued for
 		// persistence and needs only the thread's next fence.
@@ -337,13 +406,20 @@ func (r *replayer) flush(e trace.Event) {
 		return
 	}
 	// Snapshot semantics: the flush covers the stores visible now; stores
-	// issued after the flush are not persisted by it.
+	// issued after the flush are not persisted by it. Closed entries are
+	// swept here even when nothing is left to cover: an all-closed line
+	// never enqueues a pendingFlush, so fence's compaction never reaches it
+	// and its dead entries (and map key) would otherwise be retained for
+	// the rest of the session.
 	covered := make([]*openStore, 0, len(open))
+	kept := open[:0]
 	for _, os := range open {
 		if !os.closed {
 			covered = append(covered, os)
+			kept = append(kept, os)
 		}
 	}
+	r.setLine(line, kept, len(open))
 	if len(covered) > 0 {
 		ts.pending = append(ts.pending, pendingFlush{line: line, covered: covered})
 	}
@@ -369,11 +445,7 @@ func (r *replayer) fence(e trace.Event) {
 				kept = append(kept, os)
 			}
 		}
-		if len(kept) == 0 {
-			delete(r.lines, pf.line)
-		} else {
-			r.lines[pf.line] = kept
-		}
+		r.setLine(pf.line, kept, len(open))
 	}
 	ts.pending = ts.pending[:0]
 }

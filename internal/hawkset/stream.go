@@ -2,6 +2,7 @@ package hawkset
 
 import (
 	"sort"
+	"time"
 
 	"hawkset/internal/sites"
 	"hawkset/internal/trace"
@@ -28,6 +29,10 @@ type Stream struct {
 	cfg      Config
 	sites    *sites.Table
 	finished bool
+	// replayStart is the wall-clock instant of the first Feed, recorded only
+	// when metrics are enabled; it times the streaming ①/② stage. The value
+	// never reaches the Result — it lands in the metrics snapshot only.
+	replayStart time.Time
 }
 
 // NewStream creates an online analyzer. The site table must be the one the
@@ -42,6 +47,9 @@ func (s *Stream) Feed(e trace.Event) {
 	if s.finished {
 		panic("hawkset: Feed after Finish")
 	}
+	if s.cfg.Metrics != nil && s.replayStart.IsZero() {
+		s.replayStart = time.Now()
+	}
 	s.rp.feed(e)
 }
 
@@ -53,6 +61,9 @@ func (s *Stream) Finish() *Result {
 	}
 	s.finished = true
 	s.rp.finish()
+	if s.cfg.Metrics != nil && !s.replayStart.IsZero() {
+		s.cfg.Metrics.Histogram("hawkset.stage.replay").Observe(time.Since(s.replayStart))
+	}
 	res := &Result{
 		Stores:   s.rp.storeList,
 		Loads:    s.rp.loadList,
@@ -63,9 +74,34 @@ func (s *Stream) Finish() *Result {
 	}
 	res.Stats.LocksetsInterned = s.rp.ls.Len()
 	res.Stats.VClocksInterned = s.rp.vc.Len()
+	stopAnalyze := s.cfg.Metrics.Stage("hawkset.stage.analyze")
 	analyze(res, s.cfg)
+	stopAnalyze()
+	stopSort := s.cfg.Metrics.Stage("hawkset.stage.report_sort")
 	sortReports(res.Reports)
+	stopSort()
+	s.recordStats(&res.Stats, len(res.Reports))
 	return res
+}
+
+// recordStats mirrors the final Stats into the metrics registry, so a
+// snapshot carries the record/dedup/pair counters next to the stage timings.
+// Read-only with respect to the result: metrics stay side-band.
+func (s *Stream) recordStats(st *Stats, reports int) {
+	m := s.cfg.Metrics
+	if m == nil {
+		return
+	}
+	m.Counter("hawkset.records.stores").Add(uint64(st.StoreRecords))
+	m.Counter("hawkset.records.loads").Add(uint64(st.LoadRecords))
+	m.Counter("hawkset.dynamic.stores").Add(st.DynamicStores)
+	m.Counter("hawkset.dynamic.loads").Add(st.DynamicLoads)
+	m.Counter("hawkset.irh.dropped_stores").Add(st.IRHDroppedStores)
+	m.Counter("hawkset.irh.dropped_loads").Add(st.IRHDroppedLoads)
+	m.Counter("hawkset.pairs.checked").Add(st.PairsChecked)
+	m.Counter("hawkset.pairs.hb_filtered").Add(st.PairsHBFiltered)
+	m.Counter("hawkset.pairs.lock_filtered").Add(st.PairsLockFiltered)
+	m.Counter("hawkset.reports").Add(uint64(reports))
 }
 
 // sortReports orders reports by their rendered frames. The sort keys are

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of a registry, ordered deterministically:
+// each section is sorted by metric name, so two snapshots of identical
+// metric states serialize byte-identically.
+type Snapshot struct {
+	Counters  []CounterSnap  `json:"counters"`
+	Gauges    []GaugeSnap    `json:"gauges"`
+	Durations []DurationSnap `json:"durations"`
+}
+
+// CounterSnap is one counter's snapshot.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeSnap is one gauge's snapshot: the current level and the high-water
+// mark.
+type GaugeSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+	Max   int64  `json:"max"`
+}
+
+// DurationSnap is one histogram's snapshot. All durations are nanoseconds.
+type DurationSnap struct {
+	Name    string       `json:"name"`
+	Count   uint64       `json:"count"`
+	TotalNS int64        `json:"total_ns"`
+	MinNS   int64        `json:"min_ns"`
+	MaxNS   int64        `json:"max_ns"`
+	Buckets []BucketSnap `json:"buckets"`
+}
+
+// BucketSnap is one histogram bucket: observations with duration <= LE.
+type BucketSnap struct {
+	LE    string `json:"le"` // upper bound ("1ms", ..., "+Inf")
+	Count uint64 `json:"count"`
+}
+
+// Mean returns the average observed duration (0 when empty).
+func (d DurationSnap) Mean() time.Duration {
+	if d.Count == 0 {
+		return 0
+	}
+	return time.Duration(d.TotalNS / int64(d.Count))
+}
+
+// Snapshot copies the registry's current state. A nil registry yields an
+// empty (but usable) snapshot. Sections are sorted by name; bucket order is
+// fixed — the output is deterministic for a given metric state.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:  []CounterSnap{},
+		Gauges:    []GaugeSnap{},
+		Durations: []DurationSnap{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range sortedKeys(r.counters) {
+		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: r.counters[name].Value()})
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		g := r.gauges[name]
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: g.Value(), Max: g.Max()})
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		d := DurationSnap{
+			Name:    name,
+			Count:   h.count.Load(),
+			TotalNS: h.sumNS.Load(),
+			MinNS:   h.minNS.Load(),
+			MaxNS:   h.maxNS.Load(),
+		}
+		if d.Count == 0 {
+			d.MinNS = 0
+		}
+		for i := range h.buckets {
+			le := "+Inf"
+			if i < len(BucketBounds) {
+				le = BucketBounds[i].String()
+			}
+			d.Buckets = append(d.Buckets, BucketSnap{LE: le, Count: h.buckets[i].Load()})
+		}
+		s.Durations = append(s.Durations, d)
+	}
+	return s
+}
+
+// WriteJSON emits the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteTable emits the snapshot as a human-readable table.
+func (s *Snapshot) WriteTable(w io.Writer) error {
+	width := 0
+	for _, c := range s.Counters {
+		width = max(width, len(c.Name))
+	}
+	for _, g := range s.Gauges {
+		width = max(width, len(g.Name))
+	}
+	for _, d := range s.Durations {
+		width = max(width, len(d.Name))
+	}
+	if len(s.Counters) > 0 {
+		if _, err := fmt.Fprintln(w, "counters:"); err != nil {
+			return err
+		}
+		for _, c := range s.Counters {
+			if _, err := fmt.Fprintf(w, "  %-*s %d\n", width, c.Name, c.Value); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.Gauges) > 0 {
+		if _, err := fmt.Fprintln(w, "gauges:"); err != nil {
+			return err
+		}
+		for _, g := range s.Gauges {
+			if _, err := fmt.Fprintf(w, "  %-*s %d (high-water %d)\n", width, g.Name, g.Value, g.Max); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.Durations) > 0 {
+		if _, err := fmt.Fprintln(w, "durations:"); err != nil {
+			return err
+		}
+		for _, d := range s.Durations {
+			if _, err := fmt.Fprintf(w, "  %-*s n=%d total=%s mean=%s min=%s max=%s\n",
+				width, d.Name, d.Count,
+				fmtNS(d.TotalNS), d.Mean().Round(time.Microsecond), fmtNS(d.MinNS), fmtNS(d.MaxNS)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func fmtNS(ns int64) string {
+	if ns == math.MaxInt64 {
+		return "-"
+	}
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

@@ -1,0 +1,85 @@
+// Package obscli wires the observability layer (internal/obs) into the
+// command-line tools: the standard -metrics / -metrics-table snapshot
+// outputs and the optional -pprof profiling server. All output goes to a
+// file or to stderr, never stdout — the tools' stdout remains the
+// deterministic analysis output whether or not the flags are set.
+package obscli
+
+import (
+	"flag"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers
+	"os"
+
+	"hawkset/internal/obs"
+)
+
+// Flags holds the standard observability flag values.
+type Flags struct {
+	Metrics string
+	Table   bool
+	Pprof   string
+}
+
+// Register installs the standard flags into fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Metrics, "metrics", "", "write a JSON metrics snapshot to this file at exit (\"-\" for stderr)")
+	fs.BoolVar(&f.Table, "metrics-table", false, "print a human-readable metrics table to stderr at exit")
+	fs.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+}
+
+// Registry returns the registry to thread through the pipeline: non-nil only
+// when a metrics output was requested, so default runs hand nil registries
+// (and therefore nil no-op handles) to every component.
+func (f *Flags) Registry() *obs.Registry {
+	if f.Metrics == "" && !f.Table {
+		return nil
+	}
+	return obs.NewRegistry()
+}
+
+// StartPprof starts the pprof server when -pprof was given. The listener
+// error surfaces immediately (a bad address should fail the run, not be
+// discovered after an hour-long campaign); serve errors after that are
+// ignored, profiling is best-effort.
+func (f *Flags) StartPprof() error {
+	if f.Pprof == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", f.Pprof)
+	if err != nil {
+		return err
+	}
+	go http.Serve(ln, nil) //nolint:errcheck // best-effort profiling endpoint
+	return nil
+}
+
+// Dump writes the final snapshot to the requested outputs. Call it once at
+// tool exit; a nil registry is a no-op.
+func (f *Flags) Dump(r *obs.Registry) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	if f.Table {
+		if err := snap.WriteTable(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if f.Metrics == "" {
+		return nil
+	}
+	if f.Metrics == "-" {
+		return snap.WriteJSON(os.Stderr)
+	}
+	fh, err := os.Create(f.Metrics)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(fh); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}

@@ -17,6 +17,8 @@ package pmem
 import (
 	"encoding/binary"
 	"fmt"
+
+	"hawkset/internal/obs"
 )
 
 // Addr is an offset into a Pool's address space. Applications treat Addr
@@ -63,6 +65,11 @@ type Options struct {
 	// on real PM most unpersisted windows close quickly by accident, which
 	// is precisely why races are so hard to observe directly (§5.2).
 	EvictAfter int
+	// Metrics, when non-nil, receives side-band device counters (stores,
+	// flushes, fences, evictions) and the dirty-line gauge. Device behavior
+	// is unaffected. A pointer field keeps Options comparable (Replayer
+	// clone reuse relies on that).
+	Metrics *obs.Registry
 }
 
 // pendingFlush is a snapshot taken by a flush instruction, waiting for the
@@ -89,6 +96,15 @@ type Pool struct {
 	// Background-eviction state (Options.EvictAfter).
 	clock      uint64
 	evictQueue []evictEntry
+
+	// Side-band metric handles (nil when Options.Metrics is unset).
+	mStores     *obs.Counter
+	mNTStores   *obs.Counter
+	mStoreBytes *obs.Counter
+	mFlushes    *obs.Counter
+	mFences     *obs.Counter
+	mEvictions  *obs.Counter
+	mDirtyLines *obs.Gauge
 }
 
 type evictEntry struct {
@@ -100,11 +116,18 @@ type evictEntry struct {
 // persisted.
 func New(size uint64, opts Options) *Pool {
 	p := &Pool{
-		opts:       opts,
-		volatile:   make([]byte, size),
-		persistent: make([]byte, size),
-		dirty:      make(map[uint64]struct{}),
-		pending:    make(map[int32][]pendingFlush),
+		opts:        opts,
+		volatile:    make([]byte, size),
+		persistent:  make([]byte, size),
+		dirty:       make(map[uint64]struct{}),
+		pending:     make(map[int32][]pendingFlush),
+		mStores:     opts.Metrics.Counter("pmem.stores"),
+		mNTStores:   opts.Metrics.Counter("pmem.ntstores"),
+		mStoreBytes: opts.Metrics.Counter("pmem.store_bytes"),
+		mFlushes:    opts.Metrics.Counter("pmem.flushes"),
+		mFences:     opts.Metrics.Counter("pmem.fences"),
+		mEvictions:  opts.Metrics.Counter("pmem.evictions"),
+		mDirtyLines: opts.Metrics.Gauge("pmem.dirty_lines"),
 	}
 	if opts.TrackWriters {
 		p.lastWriter = make([]int32, size)
@@ -132,6 +155,8 @@ func (p *Pool) Store(tid int32, addr Addr, data []byte, site int32) {
 	if len(data) == 0 {
 		return
 	}
+	p.mStores.Inc()
+	p.mStoreBytes.Add(uint64(len(data)))
 	p.tick()
 	copy(p.volatile[addr:], data)
 	if p.opts.EADR {
@@ -150,6 +175,7 @@ func (p *Pool) Store(tid int32, addr Addr, data []byte, site int32) {
 			p.evictQueue = append(p.evictQueue, evictEntry{line: l, at: p.clock})
 		}
 	}
+	p.mDirtyLines.Set(int64(len(p.dirty)))
 }
 
 // tick advances the device clock and performs due background evictions.
@@ -171,6 +197,8 @@ func (p *Pool) tick() {
 		}
 		copy(p.persistent[base:end], p.volatile[base:end])
 		delete(p.dirty, e.line)
+		p.mEvictions.Inc()
+		p.mDirtyLines.Set(int64(len(p.dirty)))
 	}
 }
 
@@ -178,6 +206,7 @@ func (p *Pool) tick() {
 // queued for persistence, but ordering (and thus the persistence guarantee)
 // still requires a fence from the same thread.
 func (p *Pool) NTStore(tid int32, addr Addr, data []byte, site int32) {
+	p.mNTStores.Inc()
 	p.Store(tid, addr, data, site)
 	if p.opts.EADR {
 		return
@@ -199,6 +228,7 @@ func (p *Pool) Load(addr Addr, buf []byte) {
 // domain at tid's next fence. Stores after the flush are not covered.
 func (p *Pool) Flush(tid int32, addr Addr) {
 	p.check(addr, 1)
+	p.mFlushes.Inc()
 	if p.opts.EADR {
 		return
 	}
@@ -231,6 +261,7 @@ func (p *Pool) FlushRange(tid int32, addr Addr, size uint64) {
 // Flush or NTStore from tid enters the persistent domain. Bytes that were
 // re-dirtied after their snapshot remain dirty.
 func (p *Pool) Fence(tid int32) {
+	p.mFences.Inc()
 	if p.opts.EADR {
 		return
 	}
@@ -263,6 +294,7 @@ func (p *Pool) Fence(tid int32) {
 			}
 		}
 	}
+	p.mDirtyLines.Set(int64(len(p.dirty)))
 }
 
 func equalBytes(a, b []byte) bool {

@@ -14,6 +14,7 @@ package pmrt
 import (
 	"encoding/binary"
 
+	"hawkset/internal/obs"
 	"hawkset/internal/pmem"
 	"hawkset/internal/sched"
 	"hawkset/internal/sites"
@@ -61,6 +62,10 @@ type Config struct {
 	// the journal to materialize the crash image at any point of the
 	// execution without re-running the application.
 	RecordOps bool
+	// Metrics, when non-nil, receives side-band event/journal counters from
+	// the runtime and device counters from the pool. Execution, traces and
+	// journals are unaffected: metrics never feed back.
+	Metrics *obs.Registry
 }
 
 // Runtime glues the scheduler, the PM device and the trace recorder.
@@ -90,6 +95,11 @@ type Runtime struct {
 	// visible-but-not-persistent data written by another thread — the
 	// observation event PMRace must hit to report a race.
 	OnDirtyRead func(c *Ctx, loadSite sites.ID, addr uint64, size uint32, writer int32, storeSite sites.ID)
+
+	// Side-band metric handles (nil when Config.Metrics is unset).
+	mEvents       *obs.Counter
+	mJournalOps   *obs.Counter
+	mJournalBytes *obs.Counter
 }
 
 // New creates a runtime. The first pmem.LineSize bytes of the pool are
@@ -109,8 +119,14 @@ func New(cfg Config) *Runtime {
 	r := &Runtime{
 		cfg:   cfg,
 		Sched: schd,
-		Pool:  pmem.New(cfg.PoolSize, pmem.Options{EADR: cfg.EADR, TrackWriters: cfg.TrackWriters, EvictAfter: cfg.EvictAfter}),
-		Heap:  pmem.NewHeap(pmem.LineSize, cfg.PoolSize-pmem.LineSize),
+		Pool: pmem.New(cfg.PoolSize, pmem.Options{
+			EADR: cfg.EADR, TrackWriters: cfg.TrackWriters, EvictAfter: cfg.EvictAfter,
+			Metrics: cfg.Metrics,
+		}),
+		Heap:          pmem.NewHeap(pmem.LineSize, cfg.PoolSize-pmem.LineSize),
+		mEvents:       cfg.Metrics.Counter("pmrt.events"),
+		mJournalOps:   cfg.Metrics.Counter("pmrt.journal.ops"),
+		mJournalBytes: cfg.Metrics.Counter("pmrt.journal.bytes"),
 	}
 	if !cfg.NoTrace {
 		r.Trace = trace.New()
@@ -174,6 +190,7 @@ func (c *Ctx) pre(k trace.Kind, addr uint64, size uint32) {
 }
 
 func (c *Ctx) emit(e trace.Event) {
+	c.r.mEvents.Inc()
 	if !c.r.cfg.NoTrace {
 		c.r.Trace.Append(e)
 	}
@@ -204,6 +221,8 @@ func (c *Ctx) journal(kind pmem.OpKind, addr uint64, size uint32, data []byte, s
 		copy(cp, data)
 	}
 	c.r.Ops = append(c.r.Ops, pmem.Op{Kind: kind, TID: c.th.ID(), Addr: addr, Size: size, Data: cp, Seq: seq})
+	c.r.mJournalOps.Inc()
+	c.r.mJournalBytes.Add(uint64(len(cp)))
 }
 
 // Store writes data to PM at addr (a cached, temporal store: visible
@@ -392,6 +411,7 @@ func (c *Ctx) Zero(addr uint64, size uint64) {
 		// nil Data + Size encodes "Size zero bytes"; Seq -1 marks the op as
 		// untraced.
 		c.r.Ops = append(c.r.Ops, pmem.Op{Kind: pmem.OpStore, TID: c.th.ID(), Addr: addr, Size: uint32(size), Seq: -1})
+		c.r.mJournalOps.Inc()
 	}
 }
 

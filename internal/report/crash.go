@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"time"
 
 	"hawkset/internal/crashinject"
 )
@@ -26,20 +25,20 @@ type CrashCheck struct {
 	Failed bool `json:"failed"`
 }
 
-// CrashDocument is the top-level JSON document of a pmcheck run.
+// CrashDocument is the top-level JSON document of a pmcheck run. Like
+// report.Document, it carries no wall-clock value (the side-band invariant):
+// identical campaigns serialize byte-identically.
 type CrashDocument struct {
-	Tool        string       `json:"tool"`
-	GeneratedAt time.Time    `json:"generated_at"`
-	Strategy    string       `json:"strategy,omitempty"`
-	Checks      []CrashCheck `json:"checks"`
+	Tool     string       `json:"tool"`
+	Strategy string       `json:"strategy,omitempty"`
+	Checks   []CrashCheck `json:"checks"`
 }
 
 // NewCrashDocument builds an empty pmcheck document.
 func NewCrashDocument(strategy string) *CrashDocument {
 	return &CrashDocument{
-		Tool:        "pmcheck (hawkset Go reproduction)",
-		GeneratedAt: time.Now().UTC(),
-		Strategy:    strategy,
+		Tool:     "pmcheck (hawkset Go reproduction)",
+		Strategy: strategy,
 	}
 }
 

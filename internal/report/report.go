@@ -8,7 +8,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"time"
 
 	"hawkset/internal/hawkset"
 )
@@ -50,14 +49,16 @@ type Stats struct {
 	PairsLockFiltered uint64 `json:"pairs_lock_filtered"`
 }
 
-// Document is the top-level JSON report.
+// Document is the top-level JSON report. It is fully deterministic for a
+// given analysis result — deliberately no generation timestamp or other
+// wall-clock value (the side-band invariant, see DESIGN.md): two runs over
+// the same trace diff empty, so CI can compare documents byte-for-byte.
 type Document struct {
-	Tool        string    `json:"tool"`
-	Application string    `json:"application,omitempty"`
-	Workload    string    `json:"workload,omitempty"`
-	GeneratedAt time.Time `json:"generated_at"`
-	Races       []Race    `json:"races"`
-	Stats       Stats     `json:"stats"`
+	Tool        string `json:"tool"`
+	Application string `json:"application,omitempty"`
+	Workload    string `json:"workload,omitempty"`
+	Races       []Race `json:"races"`
+	Stats       Stats  `json:"stats"`
 }
 
 // Classifier maps a report to a class label; nil means unclassified.
@@ -69,7 +70,6 @@ func New(res *hawkset.Result, app, workload string, classify Classifier) *Docume
 		Tool:        "hawkset (Go reproduction)",
 		Application: app,
 		Workload:    workload,
-		GeneratedAt: time.Now().UTC(),
 		Races:       make([]Race, 0, len(res.Reports)),
 	}
 	for _, r := range res.Reports {
