@@ -316,6 +316,19 @@ func BenchmarkParallelAnalysis(b *testing.B) {
 				b.ReportMetric(float64(reports), "races/op")
 			})
 		}
+		// The full-VC reference path (epochs off), single worker: the cost of
+		// the exact fallback the epoch fast path is measured against.
+		b.Run(benchName(e.Name, ops)+"/reference", func(b *testing.B) {
+			cfg := hawkset.DefaultConfig()
+			cfg.Workers = 1
+			cfg.Epochs = false
+			var reports int
+			for i := 0; i < b.N; i++ {
+				res := hawkset.Analyze(rt.Trace, cfg)
+				reports = len(res.Reports)
+			}
+			b.ReportMetric(float64(reports), "races/op")
+		})
 	}
 }
 

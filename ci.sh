@@ -10,7 +10,11 @@
 #                   cooperative scheduler (internal/sched)
 #   go test -bench  one iteration of every benchmark — a smoke test that
 #                   the benchmark harness still compiles and runs, not a
-#                   performance measurement
+#                   performance measurement — plus a targeted iteration of
+#                   the stage-③ epoch fast path (workers=1) and the full-VC
+#                   reference path (Epochs off), so both analysis paths stay
+#                   runnable end to end (byte-identity between them is pinned
+#                   by TestDifferentialEpochVsReference)
 #   pmlint      static PM-misuse checks over the pmrt API; the committed
 #               baseline records the intentional findings (the apps embed
 #               the paper's Table 2 bugs), so only NEW findings fail
@@ -25,6 +29,7 @@ go build ./...
 go test ./...
 go test -race . ./internal/hawkset ./internal/sched
 go test -run '^$' -bench . -benchtime 1x ./...
+go test -run '^$' -bench 'BenchmarkParallelAnalysis/.*/(workers=1|reference)$' -benchtime 1x .
 go run ./cmd/pmlint -baseline pmlint.baseline ./...
 
 if go run ./cmd/pmcheck -app Fast-Fair -ops 800 -inject -budget 8 -deadline 60s; then

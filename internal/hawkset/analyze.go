@@ -31,20 +31,36 @@ import (
 // pair-processing order exactly, so the output is byte-identical to the
 // Workers=1 reference path for any worker count.
 func analyze(res *Result, cfg Config) {
-	buckets := make(map[uint64]*storeLoadBucket)
+	// Buckets come from a block arena (most traces have thousands of
+	// single-record lines; one allocation per bucket was measurable), and the
+	// map is presized from the record counts.
+	buckets := make(map[uint64]*storeLoadBucket, (len(res.Stores)+len(res.Loads))/4+1)
+	var bkArena []storeLoadBucket
 	get := func(line uint64) *storeLoadBucket {
-		b := buckets[line]
-		if b == nil {
-			b = &storeLoadBucket{}
-			buckets[line] = b
+		if b, ok := buckets[line]; ok {
+			return b
 		}
+		if len(bkArena) == 0 {
+			bkArena = make([]storeLoadBucket, 64)
+		}
+		b := &bkArena[0]
+		bkArena = bkArena[1:]
+		buckets[line] = b
 		return b
 	}
-	for _, st := range res.Stores {
-		linesOf(st.Addr, st.Size, func(line uint64) { get(line).stores = append(get(line).stores, st) })
+	for i := range res.Stores {
+		st := &res.Stores[i]
+		linesOf(st.Addr, st.Size, func(line uint64) {
+			b := get(line)
+			b.stores = append(b.stores, st)
+		})
 	}
-	for _, ld := range res.Loads {
-		linesOf(ld.Addr, ld.Size, func(line uint64) { get(line).loads = append(get(line).loads, ld) })
+	for i := range res.Loads {
+		ld := &res.Loads[i]
+		linesOf(ld.Addr, ld.Size, func(line uint64) {
+			b := get(line)
+			b.loads = append(b.loads, ld)
+		})
 	}
 
 	// Iterate buckets in address order so report example fields (address,
@@ -114,7 +130,12 @@ func partitionLines(buckets map[uint64]*storeLoadBucket, lineKeys []uint64, work
 		b := buckets[line]
 		c := uint64(len(b.stores))*uint64(len(b.loads)) + 1
 		if storeStore {
-			c += uint64(len(b.stores)) * uint64(len(b.stores)) / 2
+			// n stores pair as n(n-1)/2, not n²/2: the n/2 overcharge per
+			// bucket made thousands of single-store buckets (0 real pairs,
+			// charged ½ each) look as expensive as genuine pairing work and
+			// skewed the shard boundaries toward them.
+			n := uint64(len(b.stores))
+			c += n * (n - 1) / 2
 		}
 		costs[i] = c
 		total += c
@@ -167,11 +188,29 @@ type pairStats struct {
 // read-only interning tables, so shards run concurrently without locks.
 func analyzeShard(res *Result, cfg Config, buckets map[uint64]*storeLoadBucket, lines []uint64) *shardResult {
 	out := &shardResult{reports: make(map[reportKey]*Report)}
-	cmp := newComparer(res.Locksets, res.VClocks)
+	memoHint := 0
 	for _, line := range lines {
 		b := buckets[line]
+		memoHint += len(b.stores) + len(b.loads)
+	}
+	cmp := newComparer(res.Locksets, res.VClocks, cfg.Epochs && res.EpochSafe, memoHint)
+	// ldScratch caches each load's last byte and spans-lines bit per bucket,
+	// computed once instead of once per store×load pair; the slice is reused
+	// across the shard's buckets.
+	var ldScratch []ldMeta
+	for _, line := range lines {
+		b := buckets[line]
+		if cap(ldScratch) < len(b.loads) {
+			ldScratch = make([]ldMeta, len(b.loads))
+		}
+		lds := ldScratch[:len(b.loads)]
+		for i, ld := range b.loads {
+			lds[i] = ldMeta{last: lastAddrOf(ld.Addr, ld.Size), spans: spansLines(ld.Addr, ld.Size)}
+		}
 		for _, st := range b.stores {
-			for _, ld := range b.loads {
+			stLast := lastAddrOf(st.Addr, st.Size)
+			stSpans := spansLines(st.Addr, st.Size)
+			for i, ld := range b.loads {
 				// A record spanning several lines appears in several
 				// buckets. Process the pair only in the first bucket the two
 				// records share: that counts it exactly once for any
@@ -179,8 +218,7 @@ func analyzeShard(res *Result, cfg Config, buckets map[uint64]*storeLoadBucket, 
 				// dedup map the sequential code used to carry (buckets are
 				// walked in ascending line order, so "first common line"
 				// and "first encounter" coincide).
-				if (spansLines(st.Addr, st.Size) || spansLines(ld.Addr, ld.Size)) &&
-					firstCommonLine(st.Addr, ld.Addr) != line {
+				if (stSpans || lds[i].spans) && firstCommonLine(st.Addr, ld.Addr) != line {
 					continue
 				}
 
@@ -188,7 +226,9 @@ func analyzeShard(res *Result, cfg Config, buckets map[uint64]*storeLoadBucket, 
 				if st.TID == ld.TID { // Algorithm 1 line 16
 					continue
 				}
-				if !overlaps(st.Addr, st.Size, ld.Addr, ld.Size) { // line 15
+				// Inclusive-last interval test, equivalent to overlaps()
+				// with the hoisted last-byte addresses. (Algorithm 1 line 15)
+				if st.Addr > lds[i].last || ld.Addr > stLast {
 					continue
 				}
 				if cfg.HBFilter && !cmp.mayRace(st, ld) { // line 17
@@ -376,22 +416,43 @@ func spansLines(addr uint64, size uint32) bool {
 	return pmem.LineOf(addr) != pmem.LineOf(lastAddrOf(addr, size))
 }
 
+// ldMeta is a load record's hoisted per-bucket pairing metadata.
+type ldMeta struct {
+	last  uint64
+	spans bool
+}
+
 // comparer memoizes interned-ID comparisons. Each analysis shard owns one:
 // the memo maps are written during pairing, while the underlying interning
 // tables are read-only by then.
+//
+// With epochs enabled (Config.Epochs on a replay that kept the ownership
+// invariant), leq answers through the (tid, tick) epoch recorded for owned
+// clocks — one component read instead of a vector walk or a memo probe.
+// disjoint first intersects the precomputed lock signatures (zero proves
+// disjointness) and walks small sets directly; only large inconclusive
+// pairs reach the memo.
 type comparer struct {
 	ls       *lockset.Table
 	vc       *vclock.Table
+	epochs   bool
 	disjMemo map[[2]lockset.ID]bool
 	leqMemo  map[[2]vclock.ID]bool
 }
 
-func newComparer(ls *lockset.Table, vc *vclock.Table) *comparer {
+// newComparer builds a shard comparer. memoHint presizes the memo maps (the
+// shard's record count is the natural bound: a shard cannot memoize more
+// distinct pairs than pairs it checks, and record counts cap those).
+func newComparer(ls *lockset.Table, vc *vclock.Table, epochs bool, memoHint int) *comparer {
+	if memoHint > 1<<12 {
+		memoHint = 1 << 12
+	}
 	return &comparer{
 		ls:       ls,
 		vc:       vc,
-		disjMemo: make(map[[2]lockset.ID]bool),
-		leqMemo:  make(map[[2]vclock.ID]bool),
+		epochs:   epochs,
+		disjMemo: make(map[[2]lockset.ID]bool, memoHint),
+		leqMemo:  make(map[[2]vclock.ID]bool, memoHint),
 	}
 }
 
@@ -405,11 +466,20 @@ func (c *comparer) disjoint(a, b lockset.ID) bool {
 	if a == b {
 		return false
 	}
+	if c.ls.Sig(a)&c.ls.Sig(b) == 0 {
+		// No shared signature bit ⇒ no shared lock (exact negative).
+		return true
+	}
+	sa, sb := c.ls.Get(a), c.ls.Get(b)
+	if len(sa)+len(sb) <= 8 {
+		// Small sets: the merge walk is cheaper than two memo probes.
+		return lockset.DisjointLocks(sa, sb)
+	}
 	key := [2]lockset.ID{a, b}
 	if v, ok := c.disjMemo[key]; ok {
 		return v
 	}
-	v := lockset.DisjointLocks(c.ls.Get(a), c.ls.Get(b))
+	v := lockset.DisjointLocks(sa, sb)
 	c.disjMemo[key] = v
 	c.disjMemo[[2]lockset.ID{b, a}] = v
 	return v
@@ -418,6 +488,11 @@ func (c *comparer) disjoint(a, b lockset.ID) bool {
 func (c *comparer) leq(a, b vclock.ID) bool {
 	if a == b {
 		return true
+	}
+	if c.epochs {
+		if tid, tick, ok := c.vc.Epoch(a); ok {
+			return tick <= c.vc.Get(b).Get(int(tid))
+		}
 	}
 	key := [2]vclock.ID{a, b}
 	if v, ok := c.leqMemo[key]; ok {

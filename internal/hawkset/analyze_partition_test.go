@@ -1,0 +1,93 @@
+package hawkset
+
+import "testing"
+
+// pairCost is the true pairing cost of one bucket: stores×loads store-load
+// pairs plus n(n-1)/2 store-store pairs, plus the constant bucket overhead —
+// the model partitionLines must balance.
+func pairCost(b *storeLoadBucket, storeStore bool) uint64 {
+	c := uint64(len(b.stores))*uint64(len(b.loads)) + 1
+	if storeStore {
+		n := uint64(len(b.stores))
+		c += n * (n - 1) / 2
+	}
+	return c
+}
+
+// TestPartitionLinesSkewedSpread: on a synthetic skewed trace shape — a run
+// of two-store buckets (1 real store-store pair each) followed by a longer
+// run of load-only buckets (0 pairs) — the contiguous partition must stay
+// balanced under the true n(n-1)/2 pair model: no shard may exceed the ideal
+// share by more than one bucket (the inherent granularity of a contiguous
+// greedy split). The old n²/2 model overcharged every n-store bucket by n/2,
+// inflating the store region by 50% here, so the boundary landed well inside
+// it and left the final shard with a third of the store buckets plus the
+// whole load tail — measurably past the bound this test pins.
+func TestPartitionLinesSkewedSpread(t *testing.T) {
+	mkBucket := func(stores, loads int) *storeLoadBucket {
+		b := &storeLoadBucket{}
+		for i := 0; i < stores; i++ {
+			b.stores = append(b.stores, &StoreData{})
+		}
+		for i := 0; i < loads; i++ {
+			b.loads = append(b.loads, &LoadData{})
+		}
+		return b
+	}
+
+	buckets := make(map[uint64]*storeLoadBucket)
+	var lineKeys []uint64
+	addLine := func(line uint64, b *storeLoadBucket) {
+		buckets[line] = b
+		lineKeys = append(lineKeys, line)
+	}
+	for i := 0; i < 200; i++ {
+		addLine(uint64(i), mkBucket(2, 0)) // true cost 2, old model said 3
+	}
+	for i := 0; i < 400; i++ {
+		addLine(uint64(1000+i), mkBucket(0, 1)) // cost 1 in both models
+	}
+
+	const workers = 2
+	parts := partitionLines(buckets, lineKeys, workers, true)
+	if len(parts) > workers {
+		t.Fatalf("partition produced %d shards for %d workers", len(parts), workers)
+	}
+
+	// The partition must be exactly the input key list, contiguously.
+	var flat []uint64
+	for _, p := range parts {
+		flat = append(flat, p...)
+	}
+	if len(flat) != len(lineKeys) {
+		t.Fatalf("partition covers %d lines, want %d", len(flat), len(lineKeys))
+	}
+	for i := range flat {
+		if flat[i] != lineKeys[i] {
+			t.Fatalf("partition reordered lines at %d: %d != %d", i, flat[i], lineKeys[i])
+		}
+	}
+
+	var total, maxBucket uint64
+	for _, line := range lineKeys {
+		c := pairCost(buckets[line], true)
+		total += c
+		if c > maxBucket {
+			maxBucket = c
+		}
+	}
+	var maxShard uint64
+	for _, p := range parts {
+		var c uint64
+		for _, line := range p {
+			c += pairCost(buckets[line], true)
+		}
+		if c > maxShard {
+			maxShard = c
+		}
+	}
+	if limit := total/workers + maxBucket; maxShard > limit {
+		t.Fatalf("max shard cost %d exceeds balanced bound %d (total %d, maxBucket %d)",
+			maxShard, limit, total, maxBucket)
+	}
+}

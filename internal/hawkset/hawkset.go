@@ -45,6 +45,15 @@ type Config struct {
 	// HBFilter prunes access pairs ordered by inter-thread happens-before
 	// (thread create/join vector clocks, §3.1.2).
 	HBFilter bool
+	// Epochs answers happens-before queries through the FastTrack-style
+	// (tid, tick) epoch summaries the replayer attaches to interned thread
+	// clocks: one component compare instead of a full vector walk. The
+	// reduction is exact, so reports, order and Stats are byte-identical
+	// with the switch on or off; off is the full-VC reference path the
+	// differential tests compare against. Ignored (full VCs used) when the
+	// trace broke the ownership invariant the reduction needs — see
+	// Result.EpochSafe.
+	Epochs bool
 	// StoreStore additionally reports store-store pairs. The paper
 	// deliberately does not (§3.1.1): store-store pairs cannot cause the
 	// causal load-side-effect dependency of a persistency-induced race.
@@ -86,7 +95,7 @@ type Config struct {
 
 // DefaultConfig returns the configuration evaluated in the paper.
 func DefaultConfig() Config {
-	return Config{IRH: true, EffectiveLockset: true, Timestamps: true, HBFilter: true}
+	return Config{IRH: true, EffectiveLockset: true, Timestamps: true, HBFilter: true, Epochs: true}
 }
 
 // EndKind says how a store's unpersisted window ended.
@@ -193,12 +202,20 @@ type Stats struct {
 	PairsLockFiltered uint64
 }
 
-// Result is the output of Analyze.
+// Result is the output of Analyze. Stores and Loads are value slices (the
+// replayer's dedup arenas handed over whole); take the address of an element
+// to hold a record by pointer.
 type Result struct {
 	Reports []Report
-	Stores  []*StoreData
-	Loads   []*LoadData
+	Stores  []StoreData
+	Loads   []LoadData
 	Stats   Stats
+
+	// EpochSafe reports whether the replay maintained the clock-ownership
+	// invariant the epoch fast path requires (no live-TID reuse). When
+	// false, the analysis used full vector-clock compares even under
+	// Config.Epochs.
+	EpochSafe bool
 
 	Locksets *lockset.Table
 	VClocks  *vclock.Table

@@ -26,21 +26,54 @@ type replayer struct {
 	vc  *vclock.Table
 
 	threads map[int32]*threadState
+	// lastTID/lastTS short-circuit the threads map for the common case of
+	// consecutive events from one thread. Invalidated when a thread state
+	// object is replaced (duplicate create).
+	lastTID int32
+	lastTS  *threadState
 	// lines maps a cache-line index to its open (visible-but-unpersisted)
 	// stores.
 	lines map[uint64][]*openStore
 	// pub tracks, per access start address, which thread touched it first
-	// and whether a second thread has made it public (§3.1.3).
-	pub map[uint64]*pubState
+	// and whether a second thread has made it public (§3.1.3). Values, not
+	// pointers: the state is three words and transitions at most twice, so
+	// a pointer per address would only add an allocation and a cache miss
+	// to every access.
+	pub map[uint64]pubState
 	// allocEpoch tracks, per cache line, how many instrumented allocations
 	// have covered it (Config.AllocAware): publication state older than the
 	// line's current epoch is stale and resets on the next touch.
 	allocEpoch map[uint64]uint64
 
-	stores    map[storeKey]*StoreData
-	loads     map[loadKey]*LoadData
-	storeList []*StoreData
-	loadList  []*LoadData
+	// Dedup state. Records live in value slices (loadList/storeList) and the
+	// dedup maps hold int32 indices into them: the maps stay pointer-free
+	// (the GC never scans them) and the records are contiguous. Load keys
+	// whose fields fit the 64-bit packing go through loadsPacked — a 16-byte
+	// key hashed in one shot — fronted by a small direct-mapped cache that
+	// exploits the temporal locality of hot records (a tree root re-read on
+	// every operation dedups without touching the big map). Out-of-range
+	// fields (huge TIDs, >16KB loads, very long streams) spill to the exact
+	// struct-keyed map; a key deterministically belongs to exactly one map.
+	stores     map[storeKey]int32
+	loadsPack  loadTab
+	loadsSpill map[loadKey]int32
+	storeList  []StoreData
+	loadList   []LoadData
+
+	// osArena block-allocates openStore records: stage ① opens one per
+	// dynamic store, and allocating them individually made the allocator the
+	// hottest part of the store path.
+	osArena []openStore
+	// coveredPool recycles the pendingFlush covered slices that fence
+	// retires every persist cycle.
+	coveredPool [][]*openStore
+
+	// epochSafe records whether the trace maintained the ownership invariant
+	// the epoch fast path relies on: each thread's vector-clock component is
+	// advanced only by that thread. A duplicate thread-create (reusing a
+	// live TID) breaks it; the analysis then falls back to full-VC compares,
+	// which are always exact.
+	epochSafe bool
 
 	// onWindow, when set, receives every unpersisted window as it closes, in
 	// trace-event coordinates (see StoreWindow). It fires before the
@@ -69,12 +102,12 @@ type pubState struct {
 
 // openStore is a visible store whose persistence window is still open.
 type openStore struct {
-	tid    int32
-	addr   uint64
-	size   uint32
-	site   sites.ID
-	set    lockset.Set // lockset at the store instruction
-	start  vclock.ID
+	tid   int32
+	addr  uint64
+	size  uint32
+	site  sites.ID
+	set   lockset.Set // lockset at the store instruction
+	start vclock.ID
 	// openIdx is the trace-event index of the store itself (for window
 	// extraction in event coordinates).
 	openIdx int
@@ -87,6 +120,11 @@ type threadState struct {
 	vc    vclock.VC
 	vcID  vclock.ID
 	fresh bool // bump the VC at the next VC-recording event (batching, §4)
+	// lsID caches the interned, timestamp-stripped lockset of set; lsOK is
+	// cleared on every lock event so loads between lock transitions — the
+	// overwhelming majority — intern nothing.
+	lsID lockset.ID
+	lsOK bool
 	// pending holds flush snapshots awaiting this thread's next fence.
 	pending []pendingFlush
 }
@@ -118,6 +156,97 @@ type loadKey struct {
 	vc   vclock.ID
 }
 
+// packLoad bit budget, low to high. The bounds cover every realistic trace
+// (the apps use tens of threads, sub-KB accesses, thousands of sites and
+// locksets); anything larger spills to the exact map.
+const (
+	packVCBits   = 12
+	packLSBits   = 14
+	packSiteBits = 16
+	packSizeBits = 14
+	packTIDBits  = 8
+)
+
+// packLoad packs the non-address load-key fields into one word, reporting
+// ok=false when any field exceeds its bit budget (negative IDs wrap to huge
+// unsigned values and fail the bound too).
+func packLoad(tid int32, size uint32, site sites.ID, ls lockset.ID, vc vclock.ID) (uint64, bool) {
+	if uint64(uint32(tid)) >= 1<<packTIDBits || uint64(size) >= 1<<packSizeBits ||
+		uint64(uint32(site)) >= 1<<packSiteBits || uint64(uint32(ls)) >= 1<<packLSBits ||
+		uint64(uint32(vc)) >= 1<<packVCBits {
+		return 0, false
+	}
+	return uint64(uint32(vc)) |
+		uint64(uint32(ls))<<packVCBits |
+		uint64(uint32(site))<<(packVCBits+packLSBits) |
+		uint64(size)<<(packVCBits+packLSBits+packSiteBits) |
+		uint64(uint32(tid))<<(packVCBits+packLSBits+packSiteBits+packSizeBits), true
+}
+
+// loadTab is an open-addressing hash table from (addr, packed key) to a
+// loadList index. It replaces a runtime map on the single hottest lookup of
+// the whole pipeline (one probe per dynamic PM load): linear probing over a
+// flat entry array needs one multiply-hash and, at the 50% load factor
+// enforced here, almost always exactly one 24-byte probe — no hash-function
+// call, no 16-byte memequal, no bucket indirection. Entries are never
+// deleted, which is what makes the linear probe correct.
+type loadTab struct {
+	entries []loadTabEntry
+	used    int
+}
+
+type loadTabEntry struct {
+	addr uint64
+	key  uint64
+	idx  int32 // loadList index + 1; 0 = empty slot
+}
+
+const loadTabInitBits = 13
+
+func loadTabHash(addr, key uint64) uint64 {
+	h := addr*0x9E3779B97F4A7C15 ^ key*0xC2B2AE3D27D4EB4F
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	return h ^ h>>32
+}
+
+// lookup returns a pointer to the entry for (addr, key), or to the empty
+// slot where it belongs (idx == 0). The caller fills the slot to insert and
+// must then call grew().
+func (t *loadTab) lookup(addr, key uint64) *loadTabEntry {
+	if t.entries == nil {
+		t.entries = make([]loadTabEntry, 1<<loadTabInitBits)
+	}
+	mask := uint64(len(t.entries) - 1)
+	for i := loadTabHash(addr, key) & mask; ; i = (i + 1) & mask {
+		e := &t.entries[i]
+		if e.idx == 0 || (e.addr == addr && e.key == key) {
+			return e
+		}
+	}
+}
+
+// grew records an insertion and rehashes at 50% occupancy.
+func (t *loadTab) grew() {
+	t.used++
+	if t.used*2 < len(t.entries) {
+		return
+	}
+	old := t.entries
+	t.entries = make([]loadTabEntry, 2*len(old))
+	mask := uint64(len(t.entries) - 1)
+	for _, e := range old {
+		if e.idx == 0 {
+			continue
+		}
+		i := loadTabHash(e.addr, e.key) & mask
+		for t.entries[i].idx != 0 {
+			i = (i + 1) & mask
+		}
+		t.entries[i] = e
+	}
+}
+
 func newReplayer(tr *trace.Trace, cfg Config) *replayer {
 	return &replayer{
 		cfg:         cfg,
@@ -126,14 +255,42 @@ func newReplayer(tr *trace.Trace, cfg Config) *replayer {
 		vc:          vclock.NewTable(),
 		threads:     make(map[int32]*threadState),
 		lines:       make(map[uint64][]*openStore),
-		pub:         make(map[uint64]*pubState),
+		pub:         make(map[uint64]pubState),
 		allocEpoch:  make(map[uint64]uint64),
-		stores:      make(map[storeKey]*StoreData),
-		loads:       make(map[loadKey]*LoadData),
+		stores:      make(map[storeKey]int32),
+		loadsSpill:  make(map[loadKey]int32),
+		epochSafe:   true,
 		mEvents:     cfg.Metrics.Counter("hawkset.replay.events"),
 		mOpenStores: cfg.Metrics.Gauge("hawkset.replay.open_stores"),
 		mLines:      cfg.Metrics.Gauge("hawkset.replay.lines"),
 	}
+}
+
+// newOpenStore hands out openStore records from block allocations.
+func (r *replayer) newOpenStore() *openStore {
+	if len(r.osArena) == 0 {
+		r.osArena = make([]openStore, 256)
+	}
+	os := &r.osArena[0]
+	r.osArena = r.osArena[1:]
+	return os
+}
+
+// getCovered pops a recycled covered slice (or allocates one).
+func (r *replayer) getCovered(capHint int) []*openStore {
+	if n := len(r.coveredPool); n > 0 {
+		s := r.coveredPool[n-1]
+		r.coveredPool = r.coveredPool[:n-1]
+		return s[:0]
+	}
+	return make([]*openStore, 0, capHint)
+}
+
+func (r *replayer) putCovered(s []*openStore) {
+	if cap(s) == 0 {
+		return
+	}
+	r.coveredPool = append(r.coveredPool, s[:0])
 }
 
 // setLine writes a compacted line list back, keeping the retention gauges
@@ -170,24 +327,29 @@ func (r *replayer) compactLines(addr uint64, size uint32) {
 }
 
 func (r *replayer) thread(tid int32) *threadState {
+	if r.lastTS != nil && r.lastTID == tid {
+		return r.lastTS
+	}
 	ts, ok := r.threads[tid]
 	if !ok {
-		ts = &threadState{fresh: true}
+		ts = &threadState{}
 		ts.vc = vclock.VC{}.Bump(int(tid))
-		ts.fresh = false
-		ts.vcID = r.vc.Intern(ts.vc)
+		ts.vcID = r.vc.InternOwned(ts.vc, tid)
 		r.threads[tid] = ts
 	}
+	r.lastTID, r.lastTS = tid, ts
 	return ts
 }
 
 // curVC applies any pending batched bump and returns the thread's interned
 // vector clock. Called at every VC-recording event (PM access or
-// window-closing fence).
+// window-closing fence). The interned clock is owned by tid: it is tid's
+// event clock at its current local tick, the precondition for the epoch
+// fast path (vclock.LeqID).
 func (r *replayer) curVC(tid int32, ts *threadState) vclock.ID {
 	if ts.fresh {
 		ts.vc = ts.vc.Bump(int(tid))
-		ts.vcID = r.vc.Intern(ts.vc)
+		ts.vcID = r.vc.InternOwned(ts.vc, tid)
 		ts.fresh = false
 	}
 	return ts.vcID
@@ -217,9 +379,11 @@ func (r *replayer) feed(e trace.Event) {
 			ck = 0
 		}
 		ts.set = ts.set.Add(e.Lock, ck)
+		ts.lsOK = false
 	case trace.KLockRel:
 		ts := r.thread(e.TID)
 		ts.set = ts.set.Remove(e.Lock)
+		ts.lsOK = false
 	case trace.KAlloc:
 		if r.cfg.AllocAware {
 			linesOf(e.Addr, e.Size, func(line uint64) {
@@ -228,17 +392,31 @@ func (r *replayer) feed(e trace.Event) {
 		}
 	case trace.KThreadCreate:
 		parent := r.thread(e.TID)
+		if _, exists := r.threads[e.Kid]; exists {
+			// The TID is being reused while a state for it is live: clocks
+			// interned for the old incarnation share the component the new
+			// one will advance, so the per-component ownership the epoch
+			// compare relies on no longer holds. Fall back to full VCs.
+			r.epochSafe = false
+		}
 		parent.vc = parent.vc.Bump(int(e.TID))
+		// Not an owned intern: parent.fresh forces another bump before the
+		// next recorded access, so this clock is never an event clock — it
+		// exists only to ship the post-create state to the child.
 		parent.vcID = r.vc.Intern(parent.vc)
 		child := &threadState{}
 		child.vc = parent.vc.Clone().Bump(int(e.Kid))
-		child.vcID = r.vc.Intern(child.vc)
+		child.vcID = r.vc.InternOwned(child.vc, e.Kid)
 		r.threads[e.Kid] = child
+		r.lastTS = nil
 		parent.fresh = true
 	case trace.KThreadJoin:
 		waiter := r.thread(e.TID)
 		child := r.thread(e.Kid)
 		waiter.vc = waiter.vc.Join(child.vc)
+		// Not an owned intern either: the join does not advance the waiter's
+		// own component, so this value is not the unique clock of the
+		// waiter's current tick (waiter.fresh bumps before the next access).
 		waiter.vcID = r.vc.Intern(waiter.vc)
 		waiter.fresh = true
 	default:
@@ -258,11 +436,12 @@ func (r *replayer) touch(tid int32, addr uint64) bool {
 	}
 	p, ok := r.pub[addr]
 	if !ok || p.epoch != epoch {
-		r.pub[addr] = &pubState{first: tid, epoch: epoch}
+		r.pub[addr] = pubState{first: tid, epoch: epoch}
 		return false
 	}
 	if !p.published && p.first != tid {
 		p.published = true
+		r.pub[addr] = p
 	}
 	return p.published
 }
@@ -353,7 +532,8 @@ func (r *replayer) store(e trace.Event, nt bool) {
 		r.compactLines(os.addr, os.size)
 	}
 
-	os := &openStore{
+	os := r.newOpenStore()
+	*os = openStore{
 		tid:     e.TID,
 		addr:    e.Addr,
 		size:    e.Size,
@@ -371,7 +551,8 @@ func (r *replayer) store(e trace.Event, nt bool) {
 		// A non-temporal store bypasses the cache: it is already queued for
 		// persistence and needs only the thread's next fence.
 		linesOf(e.Addr, e.Size, func(line uint64) {
-			ts.pending = append(ts.pending, pendingFlush{line: line, covered: []*openStore{os}})
+			cv := append(r.getCovered(1), os)
+			ts.pending = append(ts.pending, pendingFlush{line: line, covered: cv})
 		})
 	}
 }
@@ -387,15 +568,40 @@ func (r *replayer) load(e trace.Event) {
 		r.stats.IRHDroppedLoads++
 		return
 	}
-	key := loadKey{tid: e.TID, addr: e.Addr, size: e.Size, site: e.Site, ls: r.ls.Intern(ts.set.StripTS()), vc: vcid}
-	if ld, ok := r.loads[key]; ok {
-		ld.Count++
-	} else {
-		ld := &LoadData{TID: e.TID, Addr: e.Addr, Size: e.Size, Site: e.Site, LS: key.ls, VC: vcid, Count: 1}
-		r.loads[key] = ld
-		r.loadList = append(r.loadList, ld)
-	}
 	r.stats.DynamicLoads++
+	if !ts.lsOK {
+		ts.lsID = r.ls.Intern(ts.set.StripTS())
+		ts.lsOK = true
+	}
+	if packed, ok := packLoad(e.TID, e.Size, e.Site, ts.lsID, vcid); ok {
+		r.loadPacked(e, packed, ts.lsID, vcid)
+		return
+	}
+	key := loadKey{tid: e.TID, addr: e.Addr, size: e.Size, site: e.Site, ls: ts.lsID, vc: vcid}
+	if idx, ok := r.loadsSpill[key]; ok {
+		r.loadList[idx].Count++
+	} else {
+		r.loadsSpill[key] = r.appendLoad(e, ts.lsID, vcid)
+	}
+}
+
+// loadPacked dedups a load whose key fits the packed form against the
+// open-addressing table.
+func (r *replayer) loadPacked(e trace.Event, packed uint64, ls lockset.ID, vc vclock.ID) {
+	slot := r.loadsPack.lookup(e.Addr, packed)
+	if slot.idx != 0 {
+		r.loadList[slot.idx-1].Count++
+		return
+	}
+	*slot = loadTabEntry{addr: e.Addr, key: packed, idx: r.appendLoad(e, ls, vc) + 1}
+	r.loadsPack.grew()
+}
+
+func (r *replayer) appendLoad(e trace.Event, ls lockset.ID, vc vclock.ID) int32 {
+	r.loadList = append(r.loadList, LoadData{
+		TID: e.TID, Addr: e.Addr, Size: e.Size, Site: e.Site, LS: ls, VC: vc, Count: 1,
+	})
+	return int32(len(r.loadList) - 1)
 }
 
 func (r *replayer) flush(e trace.Event) {
@@ -411,7 +617,7 @@ func (r *replayer) flush(e trace.Event) {
 	// never enqueues a pendingFlush, so fence's compaction never reaches it
 	// and its dead entries (and map key) would otherwise be retained for
 	// the rest of the session.
-	covered := make([]*openStore, 0, len(open))
+	covered := r.getCovered(len(open))
 	kept := open[:0]
 	for _, os := range open {
 		if !os.closed {
@@ -422,6 +628,8 @@ func (r *replayer) flush(e trace.Event) {
 	r.setLine(line, kept, len(open))
 	if len(covered) > 0 {
 		ts.pending = append(ts.pending, pendingFlush{line: line, covered: covered})
+	} else {
+		r.putCovered(covered)
 	}
 }
 
@@ -437,6 +645,7 @@ func (r *replayer) fence(e trace.Event) {
 				r.close(os, EndPersist, e.TID, ts, vcid)
 			}
 		}
+		r.putCovered(pf.covered)
 		// Compact the line's open list.
 		open := r.lines[pf.line]
 		kept := open[:0]
@@ -497,15 +706,14 @@ func (r *replayer) record(os *openStore, kind EndKind, eff lockset.Set, endVC vc
 		tid: os.tid, addr: os.addr, size: os.size, site: os.site,
 		eff: effID, start: os.start, end: endVC, endKind: kind,
 	}
-	if st, ok := r.stores[key]; ok {
-		st.Count++
+	if idx, ok := r.stores[key]; ok {
+		r.storeList[idx].Count++
 	} else {
-		st := &StoreData{
+		r.stores[key] = int32(len(r.storeList))
+		r.storeList = append(r.storeList, StoreData{
 			TID: os.tid, Addr: os.addr, Size: os.size, Site: os.site,
 			Eff: effID, Start: os.start, End: endVC, EndKind: kind, Count: 1,
-		}
-		r.stores[key] = st
-		r.storeList = append(r.storeList, st)
+		})
 	}
 	r.stats.DynamicStores++
 }

@@ -105,9 +105,9 @@ func TestZeroSizeStoreClosable(t *testing.T) {
 
 	res := Analyze(b.T, cfgNoIRH())
 	var zero *StoreData
-	for _, st := range res.Stores {
-		if st.Size == 0 {
-			zero = st
+	for i := range res.Stores {
+		if res.Stores[i].Size == 0 {
+			zero = &res.Stores[i]
 		}
 	}
 	if zero == nil {

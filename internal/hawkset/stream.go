@@ -65,12 +65,13 @@ func (s *Stream) Finish() *Result {
 		s.cfg.Metrics.Histogram("hawkset.stage.replay").Observe(time.Since(s.replayStart))
 	}
 	res := &Result{
-		Stores:   s.rp.storeList,
-		Loads:    s.rp.loadList,
-		Stats:    s.rp.stats,
-		Locksets: s.rp.ls,
-		VClocks:  s.rp.vc,
-		Sites:    s.sites,
+		Stores:    s.rp.storeList,
+		Loads:     s.rp.loadList,
+		Stats:     s.rp.stats,
+		EpochSafe: s.rp.epochSafe,
+		Locksets:  s.rp.ls,
+		VClocks:   s.rp.vc,
+		Sites:     s.sites,
 	}
 	res.Stats.LocksetsInterned = s.rp.ls.Len()
 	res.Stats.VClocksInterned = s.rp.vc.Len()
@@ -108,25 +109,35 @@ func (s *Stream) recordStats(st *Stats, reports int) {
 // formatted once up front — recomputing Frame.String() inside the comparator
 // made the sort O(n log n) string builds — and the sort is stable, so frame
 // ties (e.g. a store-load and a store-store report over the same site pair)
-// keep analyze's deterministic first-appearance order.
+// keep analyze's deterministic first-appearance order. Keys and reports are
+// swapped together by one stable sort; no index indirection or copy-back.
 func sortReports(reports []Report) {
-	type sortKey struct{ store, load string }
-	keys := make([]sortKey, len(reports))
-	idx := make([]int, len(reports))
+	keys := make([]reportSortKey, len(reports))
 	for i, r := range reports {
-		keys[i] = sortKey{store: r.StoreFrame.String(), load: r.LoadFrame.String()}
-		idx[i] = i
+		keys[i] = reportSortKey{store: r.StoreFrame.String(), load: r.LoadFrame.String()}
 	}
-	sort.SliceStable(idx, func(i, j int) bool {
-		a, b := keys[idx[i]], keys[idx[j]]
-		if a.store != b.store {
-			return a.store < b.store
-		}
-		return a.load < b.load
-	})
-	sorted := make([]Report, len(reports))
-	for i, j := range idx {
-		sorted[i] = reports[j]
+	sort.Stable(&reportSorter{keys: keys, reports: reports})
+}
+
+type reportSortKey struct{ store, load string }
+
+// reportSorter sorts a report slice and its precomputed key slice in lockstep.
+type reportSorter struct {
+	keys    []reportSortKey
+	reports []Report
+}
+
+func (s *reportSorter) Len() int { return len(s.reports) }
+
+func (s *reportSorter) Less(i, j int) bool {
+	a, b := s.keys[i], s.keys[j]
+	if a.store != b.store {
+		return a.store < b.store
 	}
-	copy(reports, sorted)
+	return a.load < b.load
+}
+
+func (s *reportSorter) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.reports[i], s.reports[j] = s.reports[j], s.reports[i]
 }

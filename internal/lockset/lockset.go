@@ -33,10 +33,16 @@ func (s Set) Clone() Set {
 }
 
 // Add returns s with (lock, ts) inserted, preserving order. Acquiring a lock
-// already in the set (recursive locking) refreshes its timestamp.
+// already in the set (recursive locking) refreshes its timestamp; when the
+// entry already carries the requested timestamp — always the case with
+// timestamps disabled, where every ts is 0 — s is returned unchanged
+// instead of cloned.
 func (s Set) Add(lock uint64, ts uint32) Set {
 	i := sort.Search(len(s), func(i int) bool { return s[i].Lock >= lock })
 	if i < len(s) && s[i].Lock == lock {
+		if s[i].TS == ts {
+			return s
+		}
 		out := s.Clone()
 		out[i].TS = ts
 		return out
@@ -149,15 +155,38 @@ func (s Set) String() string {
 type ID int32
 
 // Table interns locksets. Not safe for concurrent use.
+//
+// Each interned set carries a 64-bit lock-identity signature (one bit per
+// lock, position derived from a hash of the lock ID). Signatures give a
+// walk-free sufficient test for disjointness: if two signatures share no
+// bit, the sets share no lock. See Sig and SigOf.
 type Table struct {
 	byHash map[uint64][]ID
 	sets   []Set
+	sigs   []uint64
 }
 
 // NewTable returns a table whose ID 0 is the empty set.
 func NewTable() *Table {
-	return &Table{byHash: make(map[uint64][]ID), sets: []Set{nil}}
+	return &Table{byHash: make(map[uint64][]ID), sets: []Set{nil}, sigs: []uint64{0}}
 }
+
+// SigOf computes the lock-identity signature of a set: the union of one bit
+// per lock. Two sets sharing a lock necessarily share the lock's bit, so
+// sigA & sigB == 0 proves DisjointLocks(a, b); a nonzero intersection is
+// inconclusive (hash collisions set the same bit for different locks).
+func SigOf(s Set) uint64 {
+	var sig uint64
+	for _, e := range s {
+		// Fibonacci hash of the lock ID picks the bit; the multiply spreads
+		// clustered small IDs across the word.
+		sig |= 1 << ((e.Lock * 0x9E3779B97F4A7C15) >> 58)
+	}
+	return sig
+}
+
+// Sig returns the precomputed signature of an interned set.
+func (t *Table) Sig(id ID) uint64 { return t.sigs[id] }
 
 func hashSet(s Set) uint64 {
 	h := fnv.New64a()
@@ -199,6 +228,7 @@ func (t *Table) Intern(s Set) ID {
 	}
 	id := ID(len(t.sets))
 	t.sets = append(t.sets, s.Clone())
+	t.sigs = append(t.sigs, SigOf(s))
 	t.byHash[h] = append(t.byHash[h], id)
 	return id
 }

@@ -187,3 +187,59 @@ func TestString(t *testing.T) {
 		t.Fatalf("String = %q", got)
 	}
 }
+
+// Regression: Add used to clone the set even when a recursive re-acquisition
+// left the timestamp unchanged — the universal case with timestamps disabled,
+// where every ts is 0 and each re-lock of a held lock copied the whole set.
+func TestAddUnchangedTSReturnsSameSet(t *testing.T) {
+	s := Set{}.Add(1, 0).Add(5, 0).Add(9, 0)
+	out := s.Add(5, 0)
+	if &out[0] != &s[0] {
+		t.Fatalf("Add with unchanged TS cloned the set")
+	}
+	// A changed timestamp must still clone (persistence) and update only the
+	// copy.
+	out2 := s.Add(5, 7)
+	if &out2[0] == &s[0] {
+		t.Fatalf("Add with changed TS returned the original backing array")
+	}
+	if s[1].TS != 0 {
+		t.Fatalf("Add mutated receiver: %v", s)
+	}
+	if out2[1].TS != 7 {
+		t.Fatalf("refresh lost: %v", out2)
+	}
+}
+
+// Signatures must prove disjointness exactly when they claim it: a zero
+// intersection of Sig bits implies DisjointLocks, for random set pairs.
+func TestSigDisjointSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randSet(rng), randSet(rng)
+		if SigOf(a)&SigOf(b) == 0 && !DisjointLocks(a, b) {
+			return false
+		}
+		// Sharing a lock must always share a bit.
+		if !DisjointLocks(a, b) && SigOf(a)&SigOf(b) == 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Interned signatures match SigOf of the interned set.
+func TestTableSig(t *testing.T) {
+	tab := NewTable()
+	s := Set{}.Add(3, 0).Add(77, 0)
+	id := tab.Intern(s)
+	if tab.Sig(id) != SigOf(s) {
+		t.Fatalf("Sig(%d) = %#x, want %#x", id, tab.Sig(id), SigOf(s))
+	}
+	if tab.Sig(0) != 0 {
+		t.Fatalf("empty set signature = %#x, want 0", tab.Sig(0))
+	}
+}

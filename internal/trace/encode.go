@@ -50,12 +50,18 @@ const (
 
 // Encode writes the trace in the binary format.
 func Encode(w io.Writer, t *Trace) error {
+	frames := t.Sites.Frames()
+	if len(frames) == 0 {
+		// A well-formed site table always carries the reserved frame 0; the
+		// header stores len(frames)-1, which would underflow to 2⁶⁴−1 here
+		// and produce a file every decoder rejects as corrupt.
+		return errors.New("trace: site table missing reserved frame 0")
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
 	}
 	putUvarint(bw, version)
-	frames := t.Sites.Frames()
 	putUvarint(bw, uint64(len(frames)-1))
 	for _, f := range frames[1:] {
 		putString(bw, f.File)

@@ -132,3 +132,32 @@ func TestRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression: Encode wrote len(frames)-1 into the header, so a site table
+// without the reserved frame 0 (a zero-value Table) underflowed the count to
+// 2⁶⁴−1 and produced a file every decoder rejects as corrupt. It must fail
+// loudly at encode time instead, writing nothing.
+func TestEncodeRejectsMissingReservedFrame(t *testing.T) {
+	tr := &Trace{Sites: &sites.Table{}}
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err == nil {
+		t.Fatal("Encode accepted a site table without the reserved frame 0")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("Encode wrote %d bytes before failing", buf.Len())
+	}
+	// A well-formed (fresh) trace still round-trips through the same guard.
+	ok := New()
+	ok.Append(Event{Kind: KFence, TID: 1, Site: 0})
+	buf.Reset()
+	if err := Encode(&buf, ok); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Events, ok.Events) {
+		t.Fatalf("round trip mismatch: %v != %v", got.Events, ok.Events)
+	}
+}

@@ -91,16 +91,34 @@ func (v VC) String() string {
 // clock.
 type ID int32
 
+// NoOwner marks an interned clock with no recorded owning thread.
+const NoOwner int32 = -1
+
 // Table interns vector clocks behind integer IDs. Not safe for concurrent
 // use (analysis is single-threaded).
+//
+// Alongside each clock the table can record an epoch summary: the thread
+// that owns the clock (the thread whose event the clock timestamps) and that
+// thread's own component — the FastTrack-style (tid, tick) epoch. For an
+// owned clock a, happens-before reduces to one component compare:
+// Leq(a, b) ⇔ a[tid] ≤ b[tid], because a thread's component is advanced
+// only by that thread and propagates to other clocks only via create/join
+// edges that carry the whole clock. See LeqID.
 type Table struct {
 	byHash map[uint64][]ID
 	clocks []VC
+	owners []int32 // owning thread per ID (NoOwner when unknown)
+	ticks  []uint32
 }
 
 // NewTable returns a table whose ID 0 is the empty clock.
 func NewTable() *Table {
-	return &Table{byHash: make(map[uint64][]ID), clocks: []VC{nil}}
+	return &Table{
+		byHash: make(map[uint64][]ID),
+		clocks: []VC{nil},
+		owners: []int32{NoOwner},
+		ticks:  []uint32{0},
+	}
 }
 
 func hashVC(v VC) uint64 {
@@ -132,6 +150,16 @@ func equalVC(a, b VC) bool {
 
 // Intern returns the canonical ID for v, copying it if new.
 func (t *Table) Intern(v VC) ID {
+	return t.InternOwned(v, NoOwner)
+}
+
+// InternOwned interns v and, when owner is a valid thread index, records
+// that v is a thread-event clock of owner — enabling the O(1) epoch compare
+// of LeqID for the returned ID. If the clock value was first interned
+// without an owner, the ownership is attached now; if it already has a
+// different owner, the first one is kept (both are valid: either owner's
+// component works as an epoch for this value).
+func (t *Table) InternOwned(v VC, owner int32) ID {
 	n := len(v)
 	for n > 0 && v[n-1] == 0 {
 		n--
@@ -142,17 +170,50 @@ func (t *Table) Intern(v VC) ID {
 	h := hashVC(v)
 	for _, id := range t.byHash[h] {
 		if equalVC(t.clocks[id], v) {
+			if t.owners[id] == NoOwner && owner != NoOwner {
+				t.owners[id] = owner
+				t.ticks[id] = v.Get(int(owner))
+			}
 			return id
 		}
 	}
 	id := ID(len(t.clocks))
 	t.clocks = append(t.clocks, v.Clone())
 	t.byHash[h] = append(t.byHash[h], id)
+	tick := uint32(0)
+	if owner != NoOwner {
+		tick = v.Get(int(owner))
+	}
+	t.owners = append(t.owners, owner)
+	t.ticks = append(t.ticks, tick)
 	return id
 }
 
 // Get resolves an ID to its clock. The returned slice must not be mutated.
 func (t *Table) Get(id ID) VC { return t.clocks[id] }
+
+// Epoch returns the (tid, tick) epoch of an owned clock, with ok=false when
+// the clock was interned without ownership.
+func (t *Table) Epoch(id ID) (tid int32, tick uint32, ok bool) {
+	tid = t.owners[id]
+	return tid, t.ticks[id], tid != NoOwner
+}
+
+// LeqID reports Leq(Get(a), Get(b)). When a is an owned clock the answer is
+// the O(1) epoch compare a[owner] ≤ b[owner]; otherwise it falls back to the
+// full component walk. The epoch reduction is exact — not an approximation —
+// for clocks produced by a create/join happens-before construction in which
+// each thread's component is advanced only by that thread (the replayer
+// guarantees this and interns with ownership only when the guarantee holds).
+func (t *Table) LeqID(a, b ID) bool {
+	if a == b {
+		return true
+	}
+	if owner := t.owners[a]; owner != NoOwner {
+		return t.ticks[a] <= t.clocks[b].Get(int(owner))
+	}
+	return Leq(t.clocks[a], t.clocks[b])
+}
 
 // Len returns the number of interned clocks.
 func (t *Table) Len() int { return len(t.clocks) }

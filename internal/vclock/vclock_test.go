@@ -178,3 +178,70 @@ func TestString(t *testing.T) {
 		t.Fatalf("String = %q", got)
 	}
 }
+
+// Epoch bookkeeping: ownership is recorded at InternOwned, attaches lazily
+// to a value first interned unowned, and the first owner wins on conflict.
+func TestEpochOwnership(t *testing.T) {
+	tab := NewTable()
+	a := tab.InternOwned(VC{2, 1}, 0)
+	if tid, tick, ok := tab.Epoch(a); !ok || tid != 0 || tick != 2 {
+		t.Fatalf("Epoch = (%d,%d,%v), want (0,2,true)", tid, tick, ok)
+	}
+	// Unowned intern: no epoch.
+	b := tab.Intern(VC{1, 3})
+	if _, _, ok := tab.Epoch(b); ok {
+		t.Fatalf("unowned clock has an epoch")
+	}
+	// Ownership attaches on a later owned intern of the same value.
+	if id := tab.InternOwned(VC{1, 3}, 1); id != b {
+		t.Fatalf("re-intern changed ID: %d != %d", id, b)
+	}
+	if tid, tick, ok := tab.Epoch(b); !ok || tid != 1 || tick != 3 {
+		t.Fatalf("attached Epoch = (%d,%d,%v), want (1,3,true)", tid, tick, ok)
+	}
+	// First owner wins: both owners are valid epochs for the same value, so
+	// the recorded one must simply stay stable.
+	if id := tab.InternOwned(VC{2, 1}, 1); id != a {
+		t.Fatalf("re-intern changed ID")
+	}
+	if tid, _, _ := tab.Epoch(a); tid != 0 {
+		t.Fatalf("owner overwritten: tid = %d, want 0", tid)
+	}
+}
+
+// LeqID must agree with the full-vector Leq on clocks that satisfy the
+// ownership precondition (each owned clock is its owner's event clock), and
+// fall back to the full compare for unowned clocks.
+func TestLeqIDMatchesLeq(t *testing.T) {
+	tab := NewTable()
+	// A tiny create/join history for threads 0 and 1:
+	//   t0: (1)      — initial
+	//   t0: (2)      — bump before creating t1
+	//   t1: (2,1)    — child initial clock
+	//   t0: (3)      — next event clock
+	//   t1: (2,2)    — t1's second event
+	ids := []ID{
+		tab.InternOwned(VC{1}, 0),
+		tab.InternOwned(VC{2}, 0),
+		tab.InternOwned(VC{2, 1}, 1),
+		tab.InternOwned(VC{3}, 0),
+		tab.InternOwned(VC{2, 2}, 1),
+	}
+	for _, a := range ids {
+		for _, b := range ids {
+			want := Leq(tab.Get(a), tab.Get(b))
+			if got := tab.LeqID(a, b); got != want {
+				t.Errorf("LeqID(%v,%v) = %v, want %v", tab.Get(a), tab.Get(b), got, want)
+			}
+		}
+	}
+	// Unowned × unowned falls back to the exact walk.
+	u1 := tab.Intern(VC{5, 1})
+	u2 := tab.Intern(VC{1, 5})
+	if tab.LeqID(u1, u2) || tab.LeqID(u2, u1) {
+		t.Fatalf("unowned concurrent clocks compared as ordered")
+	}
+	if !tab.LeqID(u1, u1) {
+		t.Fatalf("LeqID not reflexive")
+	}
+}
