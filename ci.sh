@@ -6,8 +6,10 @@
 #   go test     full unit + property + differential suite
 #   go test -race   the packages with concurrency: the sharded stage ③
 #                   analysis (internal/hawkset, exercised from the root
-#                   package's app-workload differential test) and the
-#                   cooperative scheduler (internal/sched)
+#                   package's app-workload differential test), the
+#                   cooperative scheduler (internal/sched), and the
+#                   ingestion daemon (internal/pmcheckd: concurrent
+#                   tenants, fault-injected reconnects, drain/recovery)
 #   go test -bench  one iteration of every benchmark — a smoke test that
 #                   the benchmark harness still compiles and runs, not a
 #                   performance measurement — plus a targeted iteration of
@@ -22,12 +24,17 @@
 #               the seeded (buggy) build must fail crash points (pmcheck
 #               exits with the failing-app count), the fixed build must
 #               sweep clean
+#   pmcheckd    bounded daemon smoke: start the ingestion daemon on a unix
+#               socket, stream one instrumented app trace through the
+#               network client with -verify (the daemon's report must be
+#               byte-identical to the offline Analyze of the same trace),
+#               then SIGTERM-drain and require a clean exit 0
 set -eux
 
 go vet ./...
 go build ./...
 go test ./...
-go test -race . ./internal/hawkset ./internal/sched
+go test -race . ./internal/hawkset ./internal/sched ./internal/pmcheckd
 go test -run '^$' -bench . -benchtime 1x ./...
 go test -run '^$' -bench 'BenchmarkParallelAnalysis/.*/(workers=1|reference)$' -benchtime 1x .
 go run ./cmd/pmlint -baseline pmlint.baseline ./...
@@ -38,3 +45,22 @@ if go run ./cmd/pmcheck -app Fast-Fair -ops 800 -inject -budget 8 -deadline 60s;
 fi
 go run ./cmd/pmcheck -app Fast-Fair -ops 800 -fixed -inject -budget 8 -deadline 60s
 go run ./cmd/pmcheck -app P-Masstree -ops 800 -fixed -inject -strategy fence -budget 8 -deadline 60s
+
+# pmcheckd daemon smoke: stream through the daemon, diff against offline
+# Analyze (-verify), SIGTERM-drain, assert clean exit.
+PMCHECKD_TMP=$(mktemp -d)
+trap 'rm -rf "$PMCHECKD_TMP"' EXIT
+go build -o "$PMCHECKD_TMP/" ./cmd/pmcheckd ./cmd/pmcheck
+"$PMCHECKD_TMP/pmcheckd" -listen "unix:$PMCHECKD_TMP/d.sock" \
+    -dir "$PMCHECKD_TMP/store" -tenant-table &
+PMCHECKD_PID=$!
+i=0
+while [ ! -S "$PMCHECKD_TMP/d.sock" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "ci: pmcheckd never listened" >&2; exit 1; }
+    sleep 0.1
+done
+"$PMCHECKD_TMP/pmcheck" -remote "unix:$PMCHECKD_TMP/d.sock" \
+    -app Fast-Fair -ops 800 -verify
+kill -TERM "$PMCHECKD_PID"
+wait "$PMCHECKD_PID"

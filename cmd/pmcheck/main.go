@@ -14,12 +14,22 @@
 //	pmcheck -app Fast-Fair -inject              # + targeted crash campaign
 //	pmcheck -all -inject -strategy fence -json  # machine-readable output
 //
-// Exit status: 0 when every checked application is consistent; otherwise
-// the number of failing applications (capped at 100). Usage and runtime
-// errors exit 101.
+// With -remote, pmcheck instead streams the instrumented execution's trace
+// events to a pmcheckd daemon (see cmd/pmcheckd) and prints the race report
+// the daemon produced — the fleet-ingestion client path. -verify
+// additionally retains the trace locally, runs the offline analysis, and
+// fails unless the daemon's document is byte-identical:
+//
+//	pmcheck -remote 127.0.0.1:7099 -app Fast-Fair -ops 4000
+//	pmcheck -remote unix:/tmp/pmcheckd.sock -app WIPE -verify
+//
+// Exit status: 0 when every checked application is consistent (or, with
+// -remote, when streaming and -verify succeeded); otherwise the number of
+// failing applications (capped at 100). Usage and runtime errors exit 101.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -27,9 +37,12 @@ import (
 
 	"hawkset/internal/apps"
 	"hawkset/internal/crashinject"
+	"hawkset/internal/hawkset"
 	"hawkset/internal/obs"
 	"hawkset/internal/obscli"
+	"hawkset/internal/pmcheckd"
 	"hawkset/internal/report"
+	"hawkset/internal/ycsb"
 
 	_ "hawkset/internal/apps/apex"
 	_ "hawkset/internal/apps/fastfair"
@@ -56,6 +69,9 @@ func main() {
 		deadline = flag.Duration("deadline", 0, "wall-clock bound per campaign (0 = none)")
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON document")
 		progress = flag.Bool("progress", false, "print a periodic campaign progress line to stderr")
+		remote   = flag.String("remote", "", "stream trace events to this pmcheckd address (host:port or unix:/path) instead of crash-checking")
+		tenant   = flag.String("tenant", "", "tenant name for -remote (default: derived from app and seed)")
+		verify   = flag.Bool("verify", false, "with -remote: also analyze offline and require a byte-identical report")
 	)
 	var obsFlags obscli.Flags
 	obsFlags.Register(flag.CommandLine)
@@ -64,6 +80,16 @@ func main() {
 		fatal(err)
 	}
 	metrics := obsFlags.Registry()
+
+	if *remote != "" {
+		if err := runRemote(*remote, *tenant, *appName, *ops, *seed, *fixed, *verify, *jsonOut, metrics); err != nil {
+			fatal(err)
+		}
+		if err := obsFlags.Dump(metrics); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	strat, err := crashinject.ParseStrategy(*strategy)
 	if err != nil {
@@ -166,6 +192,76 @@ func checkOne(e *apps.Entry, ops int, seed int64, fixed, inject bool, metrics *o
 		c.Failed = true
 	}
 	return c, nil
+}
+
+// runRemote executes one instrumented run with its trace streamed live to a
+// pmcheckd daemon (the fleet-client path): every event goes through the
+// network EventSink, the daemon analyzes at ingest, and the final report
+// document comes back over the same connection. With verify the trace is
+// additionally retained locally and analyzed offline; the two documents
+// must be byte-identical — the end-to-end form of the differential
+// invariant the pmcheckd tests enforce.
+func runRemote(addr, tenant, appName string, ops int, seed int64, fixed, verify, jsonOut bool, metrics *obs.Registry) error {
+	entry, err := apps.Lookup(appName)
+	if err != nil {
+		return err
+	}
+	n := ops
+	if entry.MaxOps > 0 && n > entry.MaxOps {
+		n = entry.MaxOps
+	}
+	w := ycsb.Generate(entry.Spec(n), seed)
+	workload := fmt.Sprintf("ycsb ops=%d seed=%d", ops, seed)
+	if tenant == "" {
+		tenant = fmt.Sprintf("%s-seed%d", entry.Name, seed)
+	}
+
+	// Without -verify the trace is not retained at all: the daemon is the
+	// only consumer, which is the memory-bounded fleet configuration.
+	rt := apps.NewRuntime(entry, apps.RunConfig{Seed: seed, Fixed: fixed, NoTrace: !verify, Metrics: metrics})
+	client, err := pmcheckd.NewClient(rt.Trace.Sites, pmcheckd.ClientConfig{
+		Addr:     addr,
+		Tenant:   tenant,
+		App:      entry.Name,
+		Workload: workload,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "pmcheck: remote: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := client.Connect(); err != nil {
+		return err
+	}
+	rt.EventSink = client.Feed
+	app := entry.Factory(rt, fixed)
+	if err := apps.RunOn(rt, app, w); err != nil {
+		return err
+	}
+	doc, err := client.Finish()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "pmcheck: daemon report for tenant %s: %d bytes\n", tenant, len(doc))
+
+	if verify {
+		res := hawkset.Analyze(rt.Trace, hawkset.DefaultConfig())
+		var local bytes.Buffer
+		if err := report.New(res, entry.Name, workload, nil).WriteJSON(&local); err != nil {
+			return err
+		}
+		if !bytes.Equal(doc, local.Bytes()) {
+			return fmt.Errorf("daemon report differs from offline analysis (%d vs %d bytes)", len(doc), local.Len())
+		}
+		fmt.Fprintln(os.Stderr, "pmcheck: verified: daemon report byte-identical to offline analysis")
+	}
+	if jsonOut {
+		if _, err := os.Stdout.Write(doc); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

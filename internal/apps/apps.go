@@ -13,6 +13,7 @@ import (
 	"hawkset/internal/hawkset"
 	"hawkset/internal/obs"
 	"hawkset/internal/pmrt"
+	"hawkset/internal/trace"
 	"hawkset/internal/ycsb"
 )
 
@@ -191,13 +192,19 @@ type RunConfig struct {
 	// Metrics, when non-nil, receives the runtime's and device's side-band
 	// counters (see pmrt.Config.Metrics). Execution is unaffected.
 	Metrics *obs.Registry
+	// EventSink, when non-nil, receives every instrumented event as it is
+	// emitted (see pmrt.Runtime.EventSink) — the hookup for streaming the
+	// trace into a hawkset.Stream or a pmcheckd daemon, usually combined
+	// with NoTrace so no events are retained locally.
+	EventSink func(e trace.Event)
 }
 
-// Run executes a workload against a fresh instance of the application under
-// the instrumented runtime and returns the runtime (whose Trace feeds the
-// analyses). The load phase runs on the main thread before the workers
-// spawn, exactly like the paper's benchmarks.
-func Run(e *Entry, w *ycsb.Workload, cfg RunConfig) (*pmrt.Runtime, error) {
+// NewRuntime builds the instrumented runtime an application instance runs
+// on, applying the entry's pool-size override. Exposed separately from Run
+// for callers that must interpose on the fresh runtime before execution —
+// the pmcheckd streaming client binds to rt.Trace.Sites and installs
+// itself as rt.EventSink between construction and RunOn.
+func NewRuntime(e *Entry, cfg RunConfig) *pmrt.Runtime {
 	poolSize := e.PoolSize
 	if poolSize == 0 {
 		poolSize = 32 << 20
@@ -211,6 +218,16 @@ func Run(e *Entry, w *ycsb.Workload, cfg RunConfig) (*pmrt.Runtime, error) {
 		InstrumentAllocs: cfg.InstrumentAllocs,
 		Metrics:          cfg.Metrics,
 	})
+	rt.EventSink = cfg.EventSink
+	return rt
+}
+
+// Run executes a workload against a fresh instance of the application under
+// the instrumented runtime and returns the runtime (whose Trace feeds the
+// analyses). The load phase runs on the main thread before the workers
+// spawn, exactly like the paper's benchmarks.
+func Run(e *Entry, w *ycsb.Workload, cfg RunConfig) (*pmrt.Runtime, error) {
+	rt := NewRuntime(e, cfg)
 	app := e.Factory(rt, cfg.Fixed)
 	return rt, RunOn(rt, app, w)
 }

@@ -100,9 +100,15 @@ func renderOnline(t *testing.T, tr *trace.Trace, cfg hawkset.Config) []byte {
 	t.Helper()
 	st := hawkset.NewStream(tr.Sites, cfg)
 	for _, e := range tr.Events {
-		st.Feed(e)
+		if err := st.Feed(e); err != nil {
+			t.Fatalf("Feed: %v", err)
+		}
 	}
-	doc := report.New(st.Finish(), "fuzz", "randDiffTrace", nil)
+	res, err := st.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	doc := report.New(res, "fuzz", "randDiffTrace", nil)
 	var buf bytes.Buffer
 	if err := doc.WriteJSON(&buf); err != nil {
 		t.Fatalf("online WriteJSON: %v", err)

@@ -45,9 +45,9 @@ func ExampleStream() {
 	cfg.IRH = false
 	s := hawkset.NewStream(b.T.Sites, cfg)
 	for _, e := range b.T.Events {
-		s.Feed(e)
+		s.Feed(e) //nolint:errcheck // fresh stream: cannot fail before Finish
 	}
-	res := s.Finish()
+	res, _ := s.Finish()
 	fmt.Printf("%d report(s), unpersisted=%v\n", len(res.Reports), res.Reports[0].Unpersisted)
 	// Output:
 	// 1 report(s), unpersisted=true

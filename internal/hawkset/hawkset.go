@@ -227,7 +227,8 @@ type Result struct {
 func Analyze(tr *trace.Trace, cfg Config) *Result {
 	s := NewStream(tr.Sites, cfg)
 	for _, e := range tr.Events {
-		s.Feed(e)
+		s.Feed(e) //nolint:errcheck // a fresh stream only errors after Finish
 	}
-	return s.Finish()
+	res, _ := s.Finish() // first Finish on a fresh stream cannot fail
+	return res
 }

@@ -54,7 +54,9 @@ func TestClosedStoreRetentionBounded(t *testing.T) {
 	cfg.Metrics = reg
 	s := NewStream(b.T.Sites, cfg)
 	for _, e := range b.T.Events {
-		s.Feed(e)
+		if err := s.Feed(e); err != nil {
+			t.Fatalf("Feed: %v", err)
+		}
 	}
 
 	// Every window above is closed, so nothing may be retained: the line
@@ -83,7 +85,10 @@ func TestClosedStoreRetentionBounded(t *testing.T) {
 
 	// The stream still finishes cleanly and reports nothing for this
 	// single-threaded, fully-persisted workload.
-	res := s.Finish()
+	res, err := s.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
 	if res.Stats.UnpersistedAtEnd != 0 {
 		t.Fatalf("UnpersistedAtEnd = %d, want 0", res.Stats.UnpersistedAtEnd)
 	}

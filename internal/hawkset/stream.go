@@ -1,12 +1,20 @@
 package hawkset
 
 import (
+	"errors"
 	"sort"
 	"time"
 
 	"hawkset/internal/sites"
 	"hawkset/internal/trace"
 )
+
+// ErrStreamFinished is returned by Feed and Finish once Finish has run: the
+// stream's state has been handed over to the Result and accepts nothing
+// more. It is an ordinary error, not a panic, so a long-running server
+// multiplexing many streams (internal/pmcheckd) can reject a misbehaving
+// event source without dying.
+var ErrStreamFinished = errors.New("hawkset: stream already finished")
 
 // Stream is the online analysis mode: events are consumed as the
 // instrumented application produces them, so no trace is retained in memory.
@@ -18,9 +26,9 @@ import (
 // Wire a Stream to a runtime with pmrt's Config.NoTrace plus an EventSink:
 //
 //	st := hawkset.NewStream(rt.Trace.Sites, cfg)
-//	rt.EventSink = st.Feed
+//	rt.EventSink = func(e trace.Event) { st.Feed(e) }
 //	... run ...
-//	res := st.Finish()
+//	res, err := st.Finish()
 //
 // Feed is not safe for concurrent use; the cooperative runtime serializes
 // event emission.
@@ -42,22 +50,25 @@ func NewStream(st *sites.Table, cfg Config) *Stream {
 	return &Stream{rp: rp, cfg: cfg, sites: st}
 }
 
-// Feed consumes one event.
-func (s *Stream) Feed(e trace.Event) {
+// Feed consumes one event. After Finish it returns ErrStreamFinished and
+// drops the event — the stream's dedup state is gone, so late events cannot
+// be absorbed, but they also must not crash the process.
+func (s *Stream) Feed(e trace.Event) error {
 	if s.finished {
-		panic("hawkset: Feed after Finish")
+		return ErrStreamFinished
 	}
 	if s.cfg.Metrics != nil && s.replayStart.IsZero() {
 		s.replayStart = time.Now()
 	}
 	s.rp.feed(e)
+	return nil
 }
 
 // Finish closes remaining store windows, runs the PM-Aware Lockset Analysis
-// and returns the result. It may be called once.
-func (s *Stream) Finish() *Result {
+// and returns the result. A second call returns ErrStreamFinished.
+func (s *Stream) Finish() (*Result, error) {
 	if s.finished {
-		panic("hawkset: Finish called twice")
+		return nil, ErrStreamFinished
 	}
 	s.finished = true
 	s.rp.finish()
@@ -82,7 +93,7 @@ func (s *Stream) Finish() *Result {
 	sortReports(res.Reports)
 	stopSort()
 	s.recordStats(&res.Stats, len(res.Reports))
-	return res
+	return res, nil
 }
 
 // recordStats mirrors the final Stats into the metrics registry, so a

@@ -1,6 +1,7 @@
 package hawkset
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -16,9 +17,14 @@ func TestStreamMatchesOffline(t *testing.T) {
 
 		s := NewStream(tr.Sites, DefaultConfig())
 		for _, e := range tr.Events {
-			s.Feed(e)
+			if err := s.Feed(e); err != nil {
+				t.Fatalf("seed %d: Feed: %v", seed, err)
+			}
 		}
-		online := s.Finish()
+		online, err := s.Finish()
+		if err != nil {
+			t.Fatalf("seed %d: Finish: %v", seed, err)
+		}
 
 		if len(offline.Reports) != len(online.Reports) {
 			t.Fatalf("seed %d: offline %d reports, online %d", seed, len(offline.Reports), len(online.Reports))
@@ -35,24 +41,23 @@ func TestStreamMatchesOffline(t *testing.T) {
 	}
 }
 
-// TestStreamLifecycle: Feed after Finish and double Finish panic loudly
-// rather than corrupting results.
+// TestStreamLifecycle: Feed after Finish and double Finish surface the typed
+// sentinel error instead of panicking — a misbehaving event source must not
+// be able to crash a server hosting the stream (internal/pmcheckd).
 func TestStreamLifecycle(t *testing.T) {
 	tr := trace.NewBuilder()
 	tr.Store(1, 0x100, 8, "s")
 	s := NewStream(tr.T.Sites, DefaultConfig())
-	s.Feed(tr.T.Events[0])
-	s.Finish()
-	mustPanic(t, func() { s.Feed(tr.T.Events[0]) })
-	mustPanic(t, func() { s.Finish() })
-}
-
-func mustPanic(t *testing.T, fn func()) {
-	t.Helper()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	fn()
+	if err := s.Feed(tr.T.Events[0]); err != nil {
+		t.Fatalf("Feed on live stream: %v", err)
+	}
+	if _, err := s.Finish(); err != nil {
+		t.Fatalf("first Finish: %v", err)
+	}
+	if err := s.Feed(tr.T.Events[0]); !errors.Is(err, ErrStreamFinished) {
+		t.Fatalf("Feed after Finish: got %v, want ErrStreamFinished", err)
+	}
+	if res, err := s.Finish(); !errors.Is(err, ErrStreamFinished) || res != nil {
+		t.Fatalf("second Finish: got (%v, %v), want (nil, ErrStreamFinished)", res, err)
+	}
 }

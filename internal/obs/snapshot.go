@@ -100,6 +100,39 @@ func (r *Registry) Snapshot() *Snapshot {
 	return s
 }
 
+// Counter returns the named counter's value, 0 when absent. Lookup
+// helpers serve consumers of per-component registries (e.g. pmcheckd's
+// per-tenant snapshots) that render selected metrics rather than the whole
+// table.
+func (s *Snapshot) Counter(name string) uint64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the named gauge's current level, 0 when absent.
+func (s *Snapshot) Gauge(name string) int64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// GaugeMax returns the named gauge's high-water mark, 0 when absent.
+func (s *Snapshot) GaugeMax(name string) int64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Max
+		}
+	}
+	return 0
+}
+
 // WriteJSON emits the snapshot as indented JSON.
 func (s *Snapshot) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)

@@ -7,10 +7,13 @@ package obscli
 
 import (
 	"flag"
+	"fmt"
+	"io"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers the /debug/pprof handlers
 	"os"
+	"path/filepath"
 
 	"hawkset/internal/obs"
 )
@@ -73,13 +76,35 @@ func (f *Flags) Dump(r *obs.Registry) error {
 	if f.Metrics == "-" {
 		return snap.WriteJSON(os.Stderr)
 	}
-	fh, err := os.Create(f.Metrics)
+	return WriteFileAtomic(f.Metrics, snap.WriteJSON)
+}
+
+// WriteFileAtomic writes a file via a temp file in the target directory plus
+// an atomic rename, so a reader of path never observes a partially-written
+// file and a crash (or a write error) between creation and rename never
+// leaves a truncated file under the target name — at worst a stale previous
+// version survives. The temp file is fsync'd before the rename: after
+// WriteFileAtomic returns, the content is durable, not just renamed.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	if err := snap.WriteJSON(fh); err != nil {
-		fh.Close()
+	defer func() {
+		if err != nil {
+			tmp.Close()           //nolint:errcheck // already failing
+			os.Remove(tmp.Name()) //nolint:errcheck // best-effort cleanup
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
 		return err
 	}
-	return fh.Close()
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }

@@ -1,0 +1,102 @@
+package obscli
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hawkset/internal/obs"
+)
+
+// TestWriteFileAtomicSuccess: the happy path lands the full content under
+// the target name and leaves no temp residue.
+func TestWriteFileAtomicSuccess(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.json")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "{\"ok\":true}\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "{\"ok\":true}\n" {
+		t.Fatalf("content = %q", got)
+	}
+	assertNoTempResidue(t, dir)
+}
+
+// TestWriteFileAtomicFailure simulates a crash between write and rename: the
+// writer dies partway through. The target must be untouched (a previous
+// version survives intact, a fresh target never appears truncated) and the
+// temp file must be cleaned up.
+func TestWriteFileAtomicFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.json")
+	const previous = "{\"previous\":1}\n"
+	if err := os.WriteFile(path, []byte(previous), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("killed mid-write")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		// Half the payload reaches the temp file, then the failure hits —
+		// exactly the torn state a kill between write and rename leaves.
+		if _, err := io.WriteString(w, "{\"trunc"); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	got, readErr := os.ReadFile(path)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if string(got) != previous {
+		t.Fatalf("target corrupted by failed write: %q", got)
+	}
+	assertNoTempResidue(t, dir)
+}
+
+// TestDumpIsAtomic: the -metrics file path goes through the atomic writer —
+// a parse-complete JSON document appears even when a previous dump left an
+// older version in place.
+func TestDumpIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	f := &Flags{Metrics: path}
+	reg := obs.NewRegistry()
+	reg.Counter("test.count").Add(3)
+	if err := f.Dump(reg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), "test.count") {
+		t.Fatalf("snapshot missing counter: %q", got)
+	}
+	assertNoTempResidue(t, dir)
+}
+
+func assertNoTempResidue(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp residue left behind: %s", e.Name())
+		}
+	}
+}

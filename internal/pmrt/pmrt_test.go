@@ -423,7 +423,11 @@ func TestEventSinkOnlineAnalysis(t *testing.T) {
 	cfg := hawkset.DefaultConfig()
 	cfg.IRH = false // two-access toy: publication-based pruning would hide it
 	stream := hawkset.NewStream(r.Trace.Sites, cfg)
-	r.EventSink = stream.Feed
+	r.EventSink = func(e trace.Event) {
+		if err := stream.Feed(e); err != nil {
+			t.Errorf("stream.Feed: %v", err)
+		}
+	}
 	m := r.NewMutex("A")
 	err := r.Run(func(c *Ctx) {
 		x := c.Alloc(8)
@@ -444,7 +448,10 @@ func TestEventSinkOnlineAnalysis(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	online := stream.Finish()
+	online, err := stream.Finish()
+	if err != nil {
+		t.Fatalf("stream.Finish: %v", err)
+	}
 	offline := hawkset.Analyze(r.Trace, cfg)
 	if len(online.Reports) != len(offline.Reports) {
 		t.Fatalf("online %d reports, offline %d", len(online.Reports), len(offline.Reports))

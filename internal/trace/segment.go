@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"hawkset/internal/sites"
+)
+
+// Segment is one batch of a streamed trace: the events produced since the
+// previous segment plus the site frames interned since the previous segment.
+// A sequence of segments numbered 1..n reconstructs exactly the trace that
+// produced it: frames are appended positionally (the stream and its receiver
+// assign identical site IDs), events are replayed in order.
+//
+// Segments are the unit of transfer and of durability in the pmcheckd
+// ingestion daemon: the same encoded bytes travel over the wire, are
+// appended to the crash-safe segment log, and are replayed on recovery.
+//
+// Binary layout (all integers uvarint, strings length-prefixed like the
+// trace format):
+//
+//	seq     uvarint            1-based segment sequence number
+//	nsites  uvarint            new site frames in this segment
+//	sites   nsites × frame     file string, line uvarint, func string
+//	nevents uvarint
+//	events  nevents × event    same event encoding as the trace format
+type Segment struct {
+	Seq    uint64
+	Frames []sites.Frame
+	Events []Event
+}
+
+// maxSegmentEvents bounds a single segment's event count; a decoded count
+// above it is rejected before any allocation. Generous: a segment is a
+// network batch, not a whole trace.
+const maxSegmentEvents = 1 << 22
+
+// EncodeSegment appends the segment's binary encoding to buf and returns
+// the extended slice.
+func EncodeSegment(buf []byte, seg *Segment) ([]byte, error) {
+	w := bytes.NewBuffer(buf)
+	bw := bufio.NewWriter(w)
+	putUvarint(bw, seg.Seq)
+	putUvarint(bw, uint64(len(seg.Frames)))
+	for _, f := range seg.Frames {
+		putString(bw, f.File)
+		putUvarint(bw, uint64(f.Line))
+		putString(bw, f.Func)
+	}
+	putUvarint(bw, uint64(len(seg.Events)))
+	for _, e := range seg.Events {
+		if err := encodeEvent(bw, e); err != nil {
+			return nil, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeSegment parses one segment. baseSites is the receiver's current site
+// table length (including the reserved frame 0); event site IDs are
+// validated against baseSites plus this segment's new frames, so a segment
+// accepted here can be applied without further checks. Input is untrusted:
+// counts are bounded, allocation is capped, and any structural violation is
+// an error, never a panic.
+func DecodeSegment(data []byte, baseSites int) (*Segment, error) {
+	br := bufio.NewReader(bytes.NewReader(data))
+	seg := &Segment{}
+	var err error
+	if seg.Seq, err = binary.ReadUvarint(br); err != nil {
+		return nil, fmt.Errorf("segment: seq: %w", err)
+	}
+	nsites, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("segment: site count: %w", err)
+	}
+	if nsites > maxSites || uint64(baseSites)+nsites > maxSites {
+		return nil, fmt.Errorf("segment: implausible site count %d (base %d)", nsites, baseSites)
+	}
+	for i := uint64(0); i < nsites; i++ {
+		file, err := getString(br)
+		if err != nil {
+			return nil, fmt.Errorf("segment: site %d: %w", i, err)
+		}
+		line, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("segment: site %d: %w", i, err)
+		}
+		if line > math.MaxInt32 {
+			return nil, fmt.Errorf("segment: site %d: line %d out of range", i, line)
+		}
+		fn, err := getString(br)
+		if err != nil {
+			return nil, fmt.Errorf("segment: site %d: %w", i, err)
+		}
+		seg.Frames = append(seg.Frames, sites.Frame{File: file, Line: int(line), Func: fn})
+	}
+	nevents, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("segment: event count: %w", err)
+	}
+	if nevents > maxSegmentEvents {
+		return nil, fmt.Errorf("segment: implausible event count %d", nevents)
+	}
+	prealloc := nevents
+	if prealloc > maxEventPrealloc {
+		prealloc = maxEventPrealloc
+	}
+	seg.Events = make([]Event, 0, prealloc)
+	siteLimit := sites.ID(uint64(baseSites) + nsites)
+	for i := uint64(0); i < nevents; i++ {
+		e, err := decodeEvent(br, siteLimit)
+		if err != nil {
+			return nil, fmt.Errorf("segment: event %d: %w", i, err)
+		}
+		seg.Events = append(seg.Events, e)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("segment: trailing data after %d events", nevents)
+	}
+	return seg, nil
+}
