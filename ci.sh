@@ -29,6 +29,12 @@
 #               network client with -verify (the daemon's report must be
 #               byte-identical to the offline Analyze of the same trace),
 #               then SIGTERM-drain and require a clean exit 0
+#   pmopt       flush/fence redundancy smoke on two apps: the JSON report
+#               must be byte-identical across two runs (the determinism
+#               invariant CI relies on), and one bounded -apply must elide
+#               the P-Masstree top-tier site with every safety gate (race
+#               byte-identity, full crash sweep, journal-aligned image
+#               differential) green — pmopt exits 1 on any gate failure
 set -eux
 
 go vet ./...
@@ -46,10 +52,20 @@ fi
 go run ./cmd/pmcheck -app Fast-Fair -ops 800 -fixed -inject -budget 8 -deadline 60s
 go run ./cmd/pmcheck -app P-Masstree -ops 800 -fixed -inject -strategy fence -budget 8 -deadline 60s
 
+# pmopt smoke: deterministic JSON on two apps, then one gated elimination.
+PMOPT_TMP=$(mktemp -d)
+trap 'rm -rf "$PMOPT_TMP"' EXIT
+for app in P-ART P-Masstree; do
+    go run ./cmd/pmopt -app "$app" -ops 400 -seed 1 -json > "$PMOPT_TMP/$app.1.json"
+    go run ./cmd/pmopt -app "$app" -ops 400 -seed 1 -json > "$PMOPT_TMP/$app.2.json"
+    diff "$PMOPT_TMP/$app.1.json" "$PMOPT_TMP/$app.2.json"
+done
+go run ./cmd/pmopt -app P-Masstree -ops 400 -seed 1 -apply -budget 8
+
 # pmcheckd daemon smoke: stream through the daemon, diff against offline
 # Analyze (-verify), SIGTERM-drain, assert clean exit.
 PMCHECKD_TMP=$(mktemp -d)
-trap 'rm -rf "$PMCHECKD_TMP"' EXIT
+trap 'rm -rf "$PMOPT_TMP" "$PMCHECKD_TMP"' EXIT
 go build -o "$PMCHECKD_TMP/" ./cmd/pmcheckd ./cmd/pmcheck
 "$PMCHECKD_TMP/pmcheckd" -listen "unix:$PMCHECKD_TMP/d.sock" \
     -dir "$PMCHECKD_TMP/store" -tenant-table &

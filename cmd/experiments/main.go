@@ -45,6 +45,9 @@ func main() {
 		f6    = flag.Bool("fig6", false, "run the scalability sweep (Figure 6)")
 		crash = flag.Bool("crash", false, "run the crash-point fault-injection sweep (app x strategy)")
 		crOps = flag.Int("crash-ops", 0, "workload size for the crash sweep (0 = per-app Table 2 sizes)")
+		opt     = flag.Bool("opt", false, "run the flush/fence redundancy analysis and gated elimination (pmopt)")
+		optOps  = flag.Int("opt-ops", 0, "workload size for the optimization sweep (0 = per-app Table 2 sizes)")
+		optApps = flag.String("opt-apps", "", "comma-separated app names for the optimization sweep (empty = all)")
 		all   = flag.Bool("all", false, "run everything")
 		seeds = flag.Int("seeds", 240, "seed-corpus size for Table 3 (paper: 240)")
 		sizes = flag.String("sizes", "1000,10000,100000", "workload sizes for Figure 6")
@@ -61,7 +64,7 @@ func main() {
 	metrics := obsFlags.Registry()
 	expmt.AnalysisWorkers = *wrk
 	expmt.Metrics = metrics
-	if !*t2 && !*t3 && !*t4 && !*f6 && !*dur && !*auto && !*crash && !*all {
+	if !*t2 && !*t3 && !*t4 && !*f6 && !*dur && !*auto && !*crash && !*opt && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -118,6 +121,21 @@ func main() {
 		rows, err := expmt.CrashTable(cfg)
 		check(err)
 		fmt.Println(expmt.FormatCrashTable(rows))
+	}
+
+	if *opt || *all {
+		fmt.Println("== Flush/fence redundancy: candidates and gated elimination (pmopt) ==")
+		cfg := expmt.DefaultOptTableConfig()
+		cfg.Seed = *seed
+		cfg.Ops = *optOps
+		if *optApps != "" {
+			for _, n := range strings.Split(*optApps, ",") {
+				cfg.Apps = append(cfg.Apps, strings.TrimSpace(n))
+			}
+		}
+		rows, err := expmt.OptTable(cfg)
+		check(err)
+		fmt.Println(expmt.FormatOptTable(rows))
 	}
 
 	if *auto || *all {

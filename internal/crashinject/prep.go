@@ -6,6 +6,7 @@ import (
 
 	"hawkset/internal/apps"
 	"hawkset/internal/hawkset"
+	"hawkset/internal/obs"
 	"hawkset/internal/pmem"
 	"hawkset/internal/pmrt"
 	"hawkset/internal/sites"
@@ -47,6 +48,23 @@ func mutates(k ycsb.OpKind) bool { return k != ycsb.OpGet && k != ycsb.OpScan }
 // device-op journal enabled and operation spans captured. The workload,
 // schedule and journal are deterministic in (opCount, seed, fixed).
 func Prepare(e *apps.Entry, opCount int, seed int64, fixed bool) (*Prep, error) {
+	return PrepareWith(e, opCount, seed, fixed, PrepOptions{})
+}
+
+// PrepOptions extends Prepare for consumers that need more than the plain
+// recording. pmopt's apply gate records the same execution with candidate
+// sites elided and counters attached; the zero value is exactly Prepare.
+type PrepOptions struct {
+	// Metrics receives the runtime's side-band counters (device_flush,
+	// device_fence, ...) for before/after comparison.
+	Metrics *obs.Registry
+	// ElideSites is forwarded to pmrt.Config.ElideSites: flush/fence sites
+	// to suppress during the recording.
+	ElideSites map[string]bool
+}
+
+// PrepareWith is Prepare with recording options.
+func PrepareWith(e *apps.Entry, opCount int, seed int64, fixed bool, opt PrepOptions) (*Prep, error) {
 	if e.MaxOps > 0 && opCount > e.MaxOps {
 		opCount = e.MaxOps
 	}
@@ -55,7 +73,8 @@ func Prepare(e *apps.Entry, opCount int, seed int64, fixed bool) (*Prep, error) 
 	if poolSize == 0 {
 		poolSize = 32 << 20
 	}
-	rt := pmrt.New(pmrt.Config{Seed: seed, PoolSize: poolSize, RecordOps: true})
+	rt := pmrt.New(pmrt.Config{Seed: seed, PoolSize: poolSize, RecordOps: true,
+		Metrics: opt.Metrics, ElideSites: opt.ElideSites})
 	app := e.Factory(rt, fixed)
 
 	var spans []Span

@@ -1,0 +1,47 @@
+package expmt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOptTableAnchors runs the optimization sweep over the two anchor
+// applications: both must report a top-tier candidate and, with Apply on,
+// a real device-op reduction with every safety gate green.
+func TestOptTableAnchors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("optimization sweep in -short mode")
+	}
+	cfg := DefaultOptTableConfig()
+	cfg.Ops = 300
+	cfg.Budget = 8
+	cfg.Apps = []string{"P-ART", "P-Masstree"}
+	rows, err := OptTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.StaticDynamic == 0 {
+			t.Errorf("%s: no static+dynamic candidate", r.App)
+		}
+		if !r.Applied {
+			t.Errorf("%s: apply did not run", r.App)
+			continue
+		}
+		if !r.GatesOK {
+			t.Errorf("%s: safety gates failed: %v", r.App, r.Problems)
+		}
+		if r.FlushReduction+r.FenceReduction == 0 {
+			t.Errorf("%s: elimination removed no device ops", r.App)
+		}
+	}
+	out := FormatOptTable(rows)
+	for _, col := range []string{"Application", "S+D", "Refuted", "Flush(-)", "Gates"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("formatted table missing column %q:\n%s", col, out)
+		}
+	}
+}

@@ -410,3 +410,103 @@ func TestEmptyStoreIsNoOp(t *testing.T) {
 		t.Fatalf("empty store dirtied %d lines", p.DirtyLines())
 	}
 }
+
+// The idempotence contract pmopt's eliminations rest on: flushing an
+// already-persistent (clean) line snapshots content identical to the
+// persistent image, so the flush+fence is a device-level no-op — the crash
+// image, dirty-line accounting and Persisted verdicts are unchanged.
+
+func TestDoubleFlushOfCleanLineIsNoOp(t *testing.T) {
+	p := New(4096, Options{})
+	p.Store(1, 128, []byte{1, 2, 3, 4}, 0)
+	p.Flush(1, 128)
+	p.Fence(1)
+	before := p.Crash()
+	dirtyBefore := p.DirtyLines()
+
+	// The line is now clean; flush+fence it again (twice, from two threads).
+	p.Flush(1, 128)
+	p.Fence(1)
+	p.Flush(2, 130)
+	p.Fence(2)
+
+	if !bytes.Equal(p.Crash(), before) {
+		t.Error("re-flushing a clean line changed the crash image")
+	}
+	if p.DirtyLines() != dirtyBefore {
+		t.Errorf("dirty lines %d after clean-line flush, want %d", p.DirtyLines(), dirtyBefore)
+	}
+	if !p.Persisted(128, 4) {
+		t.Error("clean-line flush lost the Persisted verdict")
+	}
+}
+
+func TestDoubleFlushSameBatchIsNoOp(t *testing.T) {
+	// Two flushes of the same line before one fence: the second snapshot is
+	// identical to the first (no intervening store), so applying both at the
+	// fence equals applying one.
+	p1 := New(4096, Options{})
+	p2 := New(4096, Options{})
+	for _, p := range []*Pool{p1, p2} {
+		p.Store(1, 256, []byte{0xde, 0xad}, 0)
+		p.Flush(1, 256)
+	}
+	p2.Flush(1, 256) // the redundant duplicate
+	p1.Fence(1)
+	p2.Fence(1)
+	if !bytes.Equal(p1.Crash(), p2.Crash()) {
+		t.Error("duplicate flush in one batch changed the crash image")
+	}
+	if p1.DirtyLines() != p2.DirtyLines() {
+		t.Error("duplicate flush in one batch changed dirty-line accounting")
+	}
+}
+
+func TestFlushRangeIdempotent(t *testing.T) {
+	// FlushRange over a multi-line clean range is a no-op, and repeating a
+	// FlushRange+Fence of dirty data converges to the same image as doing it
+	// once.
+	once := New(4096, Options{})
+	twice := New(4096, Options{})
+	data := make([]byte, 200) // spans 4 lines from addr 60
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	for _, p := range []*Pool{once, twice} {
+		p.Store(1, 60, data, 0)
+		p.FlushRange(1, 60, 200)
+		p.Fence(1)
+	}
+	twice.FlushRange(1, 60, 200) // all-clean range
+	twice.Fence(1)
+	twice.FlushRange(2, 60, 200) // and from a thread with no pending state
+	twice.Fence(2)
+	if !bytes.Equal(once.Crash(), twice.Crash()) {
+		t.Error("repeated FlushRange+Fence of a clean range changed the crash image")
+	}
+	if got := twice.DirtyLines(); got != 0 {
+		t.Errorf("clean range re-flush left %d dirty lines", got)
+	}
+	if !twice.Persisted(60, 200) {
+		t.Error("clean range re-flush lost the Persisted verdict")
+	}
+}
+
+func TestCleanLineFlushDoesNotCoverLaterStore(t *testing.T) {
+	// The no-op claim is only about the snapshot content: a clean-line flush
+	// still snapshots at flush time, so a store issued AFTER it is not
+	// covered by the later fence — eliding such a flush is behavior-neutral.
+	p := New(4096, Options{})
+	p.Store(1, 512, []byte{0x11}, 0)
+	p.Flush(1, 512)
+	p.Fence(1)
+	p.Flush(1, 512)                  // clean-line flush
+	p.Store(1, 512, []byte{0x22}, 0) // re-dirty after the snapshot
+	p.Fence(1)
+	if img := p.Crash(); img[512] != 0x11 {
+		t.Fatalf("crash image = %#x, want pre-store 0x11 (flush-before-store must not cover it)", img[512])
+	}
+	if p.Persisted(512, 1) {
+		t.Fatal("store after clean-line flush reported persisted")
+	}
+}

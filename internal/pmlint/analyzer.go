@@ -1,14 +1,45 @@
+// Package pmlint is a static PM-misuse analyzer for applications written
+// against the instrumented runtime API (internal/pmrt). It is the static
+// complement of the dynamic lockset analysis (internal/hawkset): because
+// every PM access, flush, fence and lock operation in the simulated
+// applications goes through the narrow pmrt.Ctx surface, the *source code*
+// itself is checkable for the misuse classes the paper hunts dynamically —
+// unpersisted stores, flushes never fenced, PM accesses outside any critical
+// section — plus one reproduction-specific class: apps bypassing the
+// cooperative scheduler with native Go concurrency, which would silently
+// break deterministic replay.
+//
+// The analyzer is stdlib-only and built on the shared static IR
+// (internal/pmlint/cfgir): loader, per-function CFGs, and interprocedural
+// fence/persist/store summaries. pmopt (the flush/fence redundancy
+// analyzer) consumes the same IR, so the two tools' opposite verdicts —
+// "this store is never persisted" vs "this persist is already covered" —
+// rest on one model of the program.
 package pmlint
 
 import (
 	"fmt"
-	"go/ast"
 	"go/token"
-	"go/types"
-	"path/filepath"
 	"sort"
-	"strings"
+
+	"hawkset/internal/pmlint/cfgir"
 )
+
+// Loader, Package and the pmrt path re-export the shared IR's loader so
+// existing consumers (cmd/pmlint, tests, pmopt bootstrap) keep one import.
+type (
+	// Loader loads and type-checks packages of a single module from source.
+	Loader = cfgir.Loader
+	// Package is one loaded, type-checked package.
+	Package = cfgir.Package
+)
+
+// PmrtPath is the import path of the instrumented runtime package whose API
+// the checks key on.
+const PmrtPath = cfgir.PmrtPath
+
+// NewLoader creates a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) { return cfgir.NewLoader(dir) }
 
 // Config configures an analysis run.
 type Config struct {
@@ -64,109 +95,10 @@ func sortFindings(fs []Finding) {
 	})
 }
 
-// opKind classifies a recognized pmrt.Ctx operation (or a call into another
-// analyzed function).
-type opKind int
-
-const (
-	opNone    opKind = iota
-	opStore          // Store, Store8, Store4, Store1 — cached store, needs flush+fence
-	opNTStore        // NTStore8 — bypasses cache, needs fence only
-	opCAS            // CAS8 — lock-free store on success, needs flush+fence
-	opZero           // Zero — untraced cached store, needs flush+fence
-	opLoad           // Load, Load8, Load4, Load1
-	opFlush          // Flush
-	opFence          // Fence
-	opPersist        // Persist — flush every line + fence
-	opLock           // Lock, RLock, WLock, SpinLock
-	opUnlock         // Unlock, RUnlock, WUnlock, SpinUnlock
-	opCallFn         // call to another analyzed function
-	opPanic          // panic(...) — path terminates abnormally
-)
-
-// isStoreKind reports whether k writes PM.
-func isStoreKind(k opKind) bool {
-	return k == opStore || k == opNTStore || k == opCAS || k == opZero
-}
-
-// ctxMethodOps maps pmrt.Ctx method names to op kinds. TryLock is absent on
-// purpose: its acquisition is conditional on the return value, which a
-// path-insensitive lockset would model wrong in both directions.
-var ctxMethodOps = map[string]opKind{
-	"Store": opStore, "Store8": opStore, "Store4": opStore, "Store1": opStore,
-	"NTStore8": opNTStore,
-	"CAS8":     opCAS,
-	"Zero":     opZero,
-	"Load":     opLoad, "Load8": opLoad, "Load4": opLoad, "Load1": opLoad,
-	"Flush":   opFlush,
-	"Fence":   opFence,
-	"Persist": opPersist,
-	"Lock":    opLock, "RLock": opLock, "WLock": opLock, "SpinLock": opLock,
-	"Unlock": opUnlock, "RUnlock": opUnlock, "WUnlock": opUnlock, "SpinUnlock": opUnlock,
-}
-
-// opCall is one recognized operation occurrence, a node payload in the CFG.
-type opCall struct {
-	kind opKind
-	call *ast.CallExpr
-	pos  token.Pos
-	// addrBase is the normalized base of the address expression (stores,
-	// loads, flush, persist); lockExpr the normalized lock expression
-	// (lock/unlock).
-	addrBase string
-	// addrAlts holds the argument bases when the address expression is an
-	// address-computing helper call (keyAddr(buf, i) → {buf, i}): a persist
-	// of the underlying object (Persist(buf, n)) covers the store.
-	addrAlts []string
-	lockExpr string
-	// callee and args are set for opCallFn: the target funcInfo and the
-	// normalized base of every value argument (aligned with callee params).
-	callee *funcInfo
-	args   []string
-	// recvIsRecv marks a method call whose receiver is the enclosing
-	// method's own receiver, enabling $recv-rooted summary translation.
-	recvIsRecv bool
-}
-
-// funcInfo is the per-function analysis unit: a declared function, method,
-// or function literal with its CFG and computed summaries.
-type funcInfo struct {
-	pkg  *Package
-	node ast.Node // *ast.FuncDecl or *ast.FuncLit
-	body *ast.BlockStmt
-	name string // diagnostic name, e.g. (*Index).putKey or func@wipe.go:17
-	recv string // receiver identifier name ("" for plain funcs/lits)
-	// recvType is the receiver's named type ("" otherwise); used to group
-	// $recv-rooted accesses across methods of the same type.
-	recvType string
-	params   []string // parameter identifier names, in order
-	// isClosure marks function literals: their bodies share the enclosing
-	// function's scope, so summary bases rooted at captured variables
-	// translate verbatim to (same-scope) call sites.
-	isClosure bool
-
-	cfg     *cfgGraph
-	callers []*opCall // call sites in other analyzed functions
-
-	// Summaries (computed to fixpoint across the call graph). Bases are
-	// normalized expressions rooted at a parameter name or at $recv.
-	fences        bool            // some path performs a fence (Fence or Persist)
-	leaksFlush    bool            // some path carries a flush to exit with no fence
-	persistsBases map[string]bool // bases persisted (with fence) on some path
-	storesBases   map[string]bool // bases stored to but never persisted locally
-	lockBlowup    bool            // lockset state exceeded the cap; lockset checks skipped
-}
-
-// analysis is the whole-run state.
+// analysis is the whole-run state: the shared IR plus pmlint's findings.
 type analysis struct {
-	cfg   Config
-	l     *Loader
-	pkgs  []*Package
-	funcs []*funcInfo
-	// byObj resolves a types.Func (or the types.Var a closure is bound to)
-	// to its analyzed funcInfo for call linking.
-	byObj    map[types.Object]*funcInfo
-	litInfo  map[*ast.FuncLit]*funcInfo
+	cfg      Config
+	ir       *cfgir.IR
 	findings []Finding
 }
 
@@ -198,12 +130,9 @@ func Analyze(l *Loader, pkgs []*Package, cfg Config) ([]Finding, error) {
 		cfg.AppsPrefix = "hawkset/internal/apps"
 	}
 	a := &analysis{
-		cfg: cfg, l: l, pkgs: pkgs,
-		byObj:   make(map[types.Object]*funcInfo),
-		litInfo: make(map[*ast.FuncLit]*funcInfo),
+		cfg: cfg,
+		ir:  cfgir.Build(l, pkgs, cfgir.Options{ExcludePkgs: cfg.ExcludePkgs}),
 	}
-	a.collectFuncs()
-	a.linkCalls()
 	a.checkPersist()  // missing-persist + flush-no-fence (shared summaries)
 	a.checkLocksets() // lock-imbalance + empty-lockset
 	a.checkBypass()   // scheduler-bypass
@@ -224,433 +153,11 @@ func dedupe(fs []Finding) []Finding {
 	return out
 }
 
-// excluded reports whether the PM-misuse checks skip pkg.
-func (a *analysis) excluded(pkg *Package) bool {
-	if pkg.Path == PmrtPath {
-		return true
-	}
-	for _, p := range a.cfg.ExcludePkgs {
-		if pkg.Path == p {
-			return true
-		}
-	}
-	return false
-}
-
-// posOf converts a token.Pos to a module-relative finding location.
-func (a *analysis) posOf(pos token.Pos) (string, int, int) {
-	p := a.l.Fset.Position(pos)
-	rel, err := filepath.Rel(a.l.ModuleDir, p.Filename)
-	if err != nil || strings.HasPrefix(rel, "..") {
-		rel = p.Filename
-	}
-	return filepath.ToSlash(rel), p.Line, p.Column
-}
-
 func (a *analysis) report(pos token.Pos, check, format string, args ...any) {
-	file, line, col := a.posOf(pos)
+	file, line, col := a.ir.PosOf(pos)
 	a.findings = append(a.findings, Finding{
 		File: file, Line: line, Col: col,
 		Check:   check,
 		Message: fmt.Sprintf(format, args...),
 	})
-}
-
-// collectFuncs builds a funcInfo (with CFG) for every function declaration
-// and function literal in the analyzed packages.
-func (a *analysis) collectFuncs() {
-	for _, pkg := range a.pkgs {
-		if a.excluded(pkg) {
-			continue
-		}
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				fi := a.newFuncInfo(pkg, fd, fd.Body)
-				if obj := pkg.Info.Defs[fd.Name]; obj != nil {
-					a.byObj[obj] = fi
-				}
-				// Function literals inside the declaration become their own
-				// analysis units (e.g. Spawn bodies are the spawned thread's
-				// code, not part of the spawning function's control flow).
-				a.collectLits(pkg, fd.Body)
-			}
-		}
-	}
-	// Bind `name := func(...){...}` closures to their variable so direct
-	// calls through the name resolve like ordinary function calls.
-	for _, pkg := range a.pkgs {
-		if a.excluded(pkg) {
-			continue
-		}
-		for _, file := range pkg.Files {
-			ast.Inspect(file, func(n ast.Node) bool {
-				as, ok := n.(*ast.AssignStmt)
-				if !ok || len(as.Lhs) != len(as.Rhs) {
-					return true
-				}
-				for i := range as.Rhs {
-					lit, ok := as.Rhs[i].(*ast.FuncLit)
-					if !ok {
-						continue
-					}
-					id, ok := as.Lhs[i].(*ast.Ident)
-					if !ok {
-						continue
-					}
-					fi := a.litInfo[lit]
-					if fi == nil {
-						continue
-					}
-					if obj := pkg.Info.Defs[id]; obj != nil {
-						a.byObj[obj] = fi
-					} else if obj := pkg.Info.Uses[id]; obj != nil {
-						a.byObj[obj] = fi
-					}
-				}
-				return true
-			})
-		}
-	}
-	// CFGs are built after all funcInfos exist so call linking can resolve
-	// forward references.
-	for _, fi := range a.funcs {
-		fi.cfg = a.buildCFG(fi)
-	}
-}
-
-func (a *analysis) collectLits(pkg *Package, body *ast.BlockStmt) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		if lit, ok := n.(*ast.FuncLit); ok {
-			a.newFuncInfo(pkg, lit, lit.Body)
-			// Nested literals are found by the recursive Inspect of the
-			// literal's own body during this walk; don't double-visit.
-		}
-		return true
-	})
-}
-
-func (a *analysis) newFuncInfo(pkg *Package, node ast.Node, body *ast.BlockStmt) *funcInfo {
-	fi := &funcInfo{
-		pkg:           pkg,
-		node:          node,
-		body:          body,
-		persistsBases: make(map[string]bool),
-		storesBases:   make(map[string]bool),
-	}
-	switch n := node.(type) {
-	case *ast.FuncDecl:
-		fi.name = n.Name.Name
-		if n.Recv != nil && len(n.Recv.List) > 0 {
-			r := n.Recv.List[0]
-			if len(r.Names) > 0 {
-				fi.recv = r.Names[0].Name
-			}
-			fi.recvType = recvTypeName(r.Type)
-			fi.name = "(" + typeExprString(r.Type) + ")." + n.Name.Name
-		}
-		fi.params = paramNames(n.Type)
-	case *ast.FuncLit:
-		file, line, _ := a.posOf(n.Pos())
-		fi.name = fmt.Sprintf("func@%s:%d", filepath.Base(file), line)
-		fi.params = paramNames(n.Type)
-		fi.isClosure = true
-		a.litInfo[n] = fi
-	}
-	a.funcs = append(a.funcs, fi)
-	return fi
-}
-
-func paramNames(ft *ast.FuncType) []string {
-	var out []string
-	if ft.Params == nil {
-		return out
-	}
-	for _, f := range ft.Params.List {
-		if len(f.Names) == 0 {
-			out = append(out, "_")
-			continue
-		}
-		for _, n := range f.Names {
-			out = append(out, n.Name)
-		}
-	}
-	return out
-}
-
-func recvTypeName(t ast.Expr) string {
-	switch e := t.(type) {
-	case *ast.StarExpr:
-		return recvTypeName(e.X)
-	case *ast.Ident:
-		return e.Name
-	case *ast.IndexExpr: // generic receiver
-		return recvTypeName(e.X)
-	}
-	return ""
-}
-
-func typeExprString(t ast.Expr) string {
-	switch e := t.(type) {
-	case *ast.StarExpr:
-		return "*" + typeExprString(e.X)
-	case *ast.Ident:
-		return e.Name
-	case *ast.IndexExpr:
-		return typeExprString(e.X)
-	}
-	return "?"
-}
-
-// linkCalls records, for every opCallFn node, the callee's funcInfo and
-// fills the callee's callers list.
-func (a *analysis) linkCalls() {
-	for _, fi := range a.funcs {
-		for _, n := range fi.cfg.nodes {
-			if n.op != nil && n.op.kind == opCallFn && n.op.callee != nil {
-				n.op.callee.callers = append(n.op.callee.callers, n.op)
-			}
-		}
-	}
-}
-
-// classify recognizes a call expression inside fi: a pmrt.Ctx operation, a
-// call to another analyzed function, or panic. Returns nil for everything
-// else.
-func (a *analysis) classify(fi *funcInfo, call *ast.CallExpr) *opCall {
-	info := fi.pkg.Info
-	// panic(...) terminates the path.
-	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
-		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
-			return &opCall{kind: opPanic, call: call, pos: call.Pos()}
-		}
-	}
-	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-		// Package-qualified calls (pkg.Fn) are plain uses, not selections.
-		if _, isSel := info.Selections[sel]; !isSel {
-			if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
-				if callee, ok := a.byObj[fn]; ok {
-					oc := &opCall{kind: opCallFn, call: call, pos: call.Pos(), callee: callee}
-					for _, arg := range call.Args {
-						oc.args = append(oc.args, fi.normBase(arg))
-					}
-					return oc
-				}
-			}
-		}
-		if s, ok := info.Selections[sel]; ok {
-			if fn, ok := s.Obj().(*types.Func); ok {
-				if k, isOp := a.ctxOp(fn, sel.Sel.Name); isOp {
-					oc := &opCall{kind: k, call: call, pos: call.Pos()}
-					switch k {
-					case opStore, opNTStore, opCAS, opZero, opLoad, opFlush, opPersist:
-						if len(call.Args) > 0 {
-							oc.addrBase = fi.normBase(call.Args[0])
-							if inner, ok := astUnparen(baseExpr(call.Args[0])).(*ast.CallExpr); ok {
-								for _, arg := range inner.Args {
-									if b := fi.normBase(arg); b != "" {
-										oc.addrAlts = append(oc.addrAlts, b)
-									}
-								}
-							}
-						}
-					case opLock, opUnlock:
-						if len(call.Args) > 0 {
-							oc.lockExpr = fi.normExpr(call.Args[0])
-						}
-					}
-					return oc
-				}
-				if callee, ok := a.byObj[fn]; ok {
-					oc := &opCall{kind: opCallFn, call: call, pos: call.Pos(), callee: callee}
-					for _, arg := range call.Args {
-						oc.args = append(oc.args, fi.normBase(arg))
-					}
-					if id, ok := astUnparen(sel.X).(*ast.Ident); ok && fi.recv != "" && id.Name == fi.recv {
-						oc.recvIsRecv = true
-					}
-					return oc
-				}
-			}
-		}
-	}
-	if id, ok := astUnparen(call.Fun).(*ast.Ident); ok {
-		if obj := info.Uses[id]; obj != nil {
-			if callee, ok := a.byObj[obj]; ok {
-				oc := &opCall{kind: opCallFn, call: call, pos: call.Pos(), callee: callee}
-				for _, arg := range call.Args {
-					oc.args = append(oc.args, fi.normBase(arg))
-				}
-				return oc
-			}
-		}
-	}
-	return nil
-}
-
-// ctxOp reports whether fn is a pmrt.Ctx operation method.
-func (a *analysis) ctxOp(fn *types.Func, name string) (opKind, bool) {
-	k, ok := ctxMethodOps[name]
-	if !ok {
-		return opNone, false
-	}
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return opNone, false
-	}
-	t := sig.Recv().Type()
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok || named.Obj().Pkg() == nil {
-		return opNone, false
-	}
-	if named.Obj().Pkg().Path() != PmrtPath || named.Obj().Name() != "Ctx" {
-		return opNone, false
-	}
-	return k, true
-}
-
-func astUnparen(e ast.Expr) ast.Expr {
-	for {
-		p, ok := e.(*ast.ParenExpr)
-		if !ok {
-			return e
-		}
-		e = p.X
-	}
-}
-
-// --- expression normalization -------------------------------------------
-
-// normExpr renders e with the enclosing method's receiver identifier
-// replaced by $recv, giving a spelling that is comparable across methods of
-// the same type.
-func (fi *funcInfo) normExpr(e ast.Expr) string {
-	var b strings.Builder
-	fi.render(&b, e)
-	return b.String()
-}
-
-// normBase renders the base of an address expression: parentheses stripped
-// and trailing "+ offset" / "- offset" arithmetic dropped, so addr, addr+8
-// and addr+hdr*2 all normalize to addr. Heuristic by design — the analyzer
-// works at the granularity the dynamic tool resolves with real addresses.
-func (fi *funcInfo) normBase(e ast.Expr) string {
-	return fi.normExpr(baseExpr(e))
-}
-
-func baseExpr(e ast.Expr) ast.Expr {
-	for {
-		switch x := e.(type) {
-		case *ast.ParenExpr:
-			e = x.X
-		case *ast.BinaryExpr:
-			if x.Op == token.ADD || x.Op == token.SUB {
-				e = x.X
-				continue
-			}
-			return e
-		default:
-			return e
-		}
-	}
-}
-
-func (fi *funcInfo) render(b *strings.Builder, e ast.Expr) {
-	switch x := e.(type) {
-	case *ast.Ident:
-		if fi.recv != "" && x.Name == fi.recv {
-			b.WriteString("$recv")
-		} else {
-			b.WriteString(x.Name)
-		}
-	case *ast.SelectorExpr:
-		fi.render(b, x.X)
-		b.WriteByte('.')
-		b.WriteString(x.Sel.Name)
-	case *ast.IndexExpr:
-		fi.render(b, x.X)
-		b.WriteByte('[')
-		fi.render(b, x.Index)
-		b.WriteByte(']')
-	case *ast.ParenExpr:
-		fi.render(b, x.X)
-	case *ast.StarExpr:
-		b.WriteByte('*')
-		fi.render(b, x.X)
-	case *ast.UnaryExpr:
-		b.WriteString(x.Op.String())
-		fi.render(b, x.X)
-	case *ast.BinaryExpr:
-		fi.render(b, x.X)
-		b.WriteString(x.Op.String())
-		fi.render(b, x.Y)
-	case *ast.BasicLit:
-		b.WriteString(x.Value)
-	case *ast.CallExpr:
-		fi.render(b, x.Fun)
-		b.WriteByte('(')
-		for i, arg := range x.Args {
-			if i > 0 {
-				b.WriteByte(',')
-			}
-			fi.render(b, arg)
-		}
-		b.WriteByte(')')
-	default:
-		fmt.Fprintf(b, "<%T>", e)
-	}
-}
-
-// rootIdent returns the leading identifier of a normalized base ("$recv" of
-// "$recv.segs", "addr" of "addr", "" when the base is not identifier-rooted).
-func rootIdent(base string) string {
-	for i := 0; i < len(base); i++ {
-		c := base[i]
-		if c == '.' || c == '[' || c == '(' || c == '+' || c == '-' || c == '*' {
-			return base[:i]
-		}
-	}
-	return base
-}
-
-// paramIndex returns the index of name in params, or -1.
-func paramIndex(params []string, name string) int {
-	for i, p := range params {
-		if p == name {
-			return i
-		}
-	}
-	return -1
-}
-
-// translateBase maps a callee-summary base to the caller's spelling at a
-// given call site: parameter-rooted bases substitute the corresponding
-// argument's base; $recv-rooted bases carry over verbatim when the call's
-// receiver is the caller's own receiver; closure bases rooted at captured
-// variables carry over verbatim (the call site shares the defining scope).
-// Returns "" when untranslatable.
-func translateBase(site *opCall, callee *funcInfo, base string) string {
-	root := rootIdent(base)
-	if i := paramIndex(callee.params, root); i >= 0 {
-		if i >= len(site.args) || site.args[i] == "" {
-			return ""
-		}
-		return site.args[i] + base[len(root):]
-	}
-	if root == "$recv" {
-		if site.recvIsRecv {
-			return base
-		}
-		return ""
-	}
-	if callee.isClosure {
-		return base
-	}
-	return ""
 }

@@ -4,6 +4,8 @@ import (
 	"go/ast"
 	"go/types"
 	"strings"
+
+	"hawkset/internal/pmlint/cfgir"
 )
 
 // Scheduler-bypass check: simulated applications must express ALL
@@ -17,7 +19,7 @@ import (
 // checkBypass walks packages under cfg.AppsPrefix and flags native
 // concurrency constructs.
 func (a *analysis) checkBypass() {
-	for _, pkg := range a.pkgs {
+	for _, pkg := range a.ir.Pkgs {
 		if pkg.Path != a.cfg.AppsPrefix && !strings.HasPrefix(pkg.Path, a.cfg.AppsPrefix+"/") {
 			continue
 		}
@@ -64,7 +66,7 @@ func (a *analysis) bypassFile(pkg *Package, file *ast.File) {
 				}
 			}
 		case *ast.CallExpr:
-			if id, ok := astUnparen(x.Fun).(*ast.Ident); ok && id.Name == "close" {
+			if id, ok := cfgir.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "close" {
 				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
 					a.report(x.Pos(), "scheduler-bypass",
 						"close of channel bypasses the cooperative scheduler; use pmrt primitives")
@@ -88,7 +90,7 @@ func (a *analysis) bypassFile(pkg *Package, file *ast.File) {
 // qualifiedUse resolves a selector to (imported package path, member name)
 // when its base is a package name; ("", "") otherwise.
 func qualifiedUse(info *types.Info, sel *ast.SelectorExpr) (string, string) {
-	id, ok := astUnparen(sel.X).(*ast.Ident)
+	id, ok := cfgir.Unparen(sel.X).(*ast.Ident)
 	if !ok {
 		return "", ""
 	}

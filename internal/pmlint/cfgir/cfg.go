@@ -1,75 +1,89 @@
-package pmlint
+package cfgir
 
 import (
 	"go/ast"
 )
 
-// cfgNode is one node of an intraprocedural control-flow graph. Nodes carry
-// at most one recognized operation; synthetic nodes (entry, exit, merges)
-// carry none.
-type cfgNode struct {
-	op    *opCall
-	succs []*cfgNode
-	idx   int
+// Node is one node of an intraprocedural control-flow graph. Nodes carry at
+// most one recognized operation; synthetic nodes (entry, exit, merges) carry
+// none.
+type Node struct {
+	Op    *OpCall
+	Succs []*Node
+	Idx   int
 }
 
-// cfgGraph is a function's CFG. Statements are linearized so that every
+// Graph is a function's CFG. Statements are linearized so that every
 // recognized pmrt operation (and every call into another analyzed function)
 // occupies its own node, in source-evaluation order within a statement
 // (pre-order over the expression tree — close enough for straight-line
 // argument lists, which is what the instrumented apps write).
-type cfgGraph struct {
-	entry, exit *cfgNode
-	nodes       []*cfgNode
+type Graph struct {
+	Entry, Exit *Node
+	Nodes       []*Node
+}
+
+// Preds computes the predecessor lists of every node, indexed by Node.Idx.
+// Backward dataflow consumers (pmopt's all-paths walks) call this once per
+// function; the forward checks never need it.
+func (g *Graph) Preds() [][]*Node {
+	preds := make([][]*Node, len(g.Nodes))
+	for _, n := range g.Nodes {
+		for _, s := range n.Succs {
+			preds[s.Idx] = append(preds[s.Idx], n)
+		}
+	}
+	return preds
 }
 
 // cfgBuilder threads loop/branch targets and the deferred-op list through a
 // syntax-directed build.
 type cfgBuilder struct {
-	a  *analysis
-	fi *funcInfo
-	g  *cfgGraph
+	ir *IR
+	fi *FuncInfo
+	g  *Graph
 
 	// breakTargets / continueTargets are stacks; labeled variants index by
 	// label name.
-	breakTargets    []*cfgNode
-	continueTargets []*cfgNode
-	labeledBreak    map[string]*cfgNode
-	labeledContinue map[string]*cfgNode
+	breakTargets    []*Node
+	continueTargets []*Node
+	labeledBreak    map[string]*Node
+	labeledContinue map[string]*Node
 	// pendingLabel is the label naming the next loop/switch statement.
 	pendingLabel string
 
 	// deferred collects the op chains of defer statements in source order;
 	// every function exit replays them in reverse. This is the standard
 	// static approximation: a defer registered on the syntactic path is
-	// assumed live at every later exit.
-	deferred [][]*opCall
+	// assumed live at every later exit. (The deferloop fixture in
+	// internal/pmlint/testdata pins the loop-interaction consequences.)
+	deferred [][]*OpCall
 }
 
-func (b *cfgBuilder) newNode(op *opCall) *cfgNode {
-	n := &cfgNode{op: op, idx: len(b.g.nodes)}
-	b.g.nodes = append(b.g.nodes, n)
+func (b *cfgBuilder) newNode(op *OpCall) *Node {
+	n := &Node{Op: op, Idx: len(b.g.Nodes)}
+	b.g.Nodes = append(b.g.Nodes, n)
 	return n
 }
 
-func edge(from, to *cfgNode) {
+func edge(from, to *Node) {
 	if from == nil || to == nil {
 		return
 	}
-	from.succs = append(from.succs, to)
+	from.Succs = append(from.Succs, to)
 }
 
 // buildCFG constructs fi's CFG.
-func (a *analysis) buildCFG(fi *funcInfo) *cfgGraph {
-	g := &cfgGraph{}
+func (ir *IR) buildCFG(fi *FuncInfo) *Graph {
+	g := &Graph{}
 	b := &cfgBuilder{
-		a: a, fi: fi, g: g,
-		labeledBreak:    make(map[string]*cfgNode),
-		labeledContinue: make(map[string]*cfgNode),
+		ir: ir, fi: fi, g: g,
+		labeledBreak:    make(map[string]*Node),
+		labeledContinue: make(map[string]*Node),
 	}
-	g.entry = b.newNode(nil)
-	g.exit = b.newNode(nil)
-	end := b.stmts(fi.body.List, g.entry)
+	g.Entry = b.newNode(nil)
+	g.Exit = b.newNode(nil)
+	end := b.stmts(fi.Body.List, g.Entry)
 	// Falling off the end of the body is an implicit return.
 	b.exitVia(end)
 	return g
@@ -77,7 +91,7 @@ func (a *analysis) buildCFG(fi *funcInfo) *cfgGraph {
 
 // exitVia connects cur to the function exit through the deferred-op replay
 // chain (reverse registration order).
-func (b *cfgBuilder) exitVia(cur *cfgNode) {
+func (b *cfgBuilder) exitVia(cur *Node) {
 	if cur == nil {
 		return
 	}
@@ -88,12 +102,12 @@ func (b *cfgBuilder) exitVia(cur *cfgNode) {
 			cur = n
 		}
 	}
-	edge(cur, b.g.exit)
+	edge(cur, b.g.Exit)
 }
 
 // opsChain appends one node per recognized op found in expr (pre-order,
 // skipping function-literal bodies) and returns the new tail.
-func (b *cfgBuilder) opsChain(cur *cfgNode, exprs ...ast.Node) *cfgNode {
+func (b *cfgBuilder) opsChain(cur *Node, exprs ...ast.Node) *Node {
 	for _, e := range exprs {
 		if e == nil {
 			continue
@@ -109,16 +123,16 @@ func (b *cfgBuilder) opsChain(cur *cfgNode, exprs ...ast.Node) *cfgNode {
 
 // opsIn extracts recognized ops from an expression tree without descending
 // into function literals (their bodies are separate analysis units).
-func (b *cfgBuilder) opsIn(root ast.Node) []*opCall {
-	var out []*opCall
+func (b *cfgBuilder) opsIn(root ast.Node) []*OpCall {
+	var out []*OpCall
 	ast.Inspect(root, func(n ast.Node) bool {
 		if _, ok := n.(*ast.FuncLit); ok {
 			return false
 		}
 		if call, ok := n.(*ast.CallExpr); ok {
-			if op := b.a.classify(b.fi, call); op != nil {
+			if op := b.ir.classify(b.fi, call); op != nil {
 				out = append(out, op)
-				if op.kind == opPanic {
+				if op.Kind == OpPanic {
 					return true // still record args' ops? args precede panic; keep walking
 				}
 			}
@@ -130,7 +144,7 @@ func (b *cfgBuilder) opsIn(root ast.Node) []*opCall {
 
 // stmts builds a statement list; returns the tail node, or nil if control
 // cannot fall through (return/branch on every path).
-func (b *cfgBuilder) stmts(list []ast.Stmt, cur *cfgNode) *cfgNode {
+func (b *cfgBuilder) stmts(list []ast.Stmt, cur *Node) *Node {
 	for _, s := range list {
 		cur = b.stmt(s, cur)
 		if cur == nil {
@@ -140,7 +154,7 @@ func (b *cfgBuilder) stmts(list []ast.Stmt, cur *cfgNode) *cfgNode {
 	return cur
 }
 
-func (b *cfgBuilder) stmt(s ast.Stmt, cur *cfgNode) *cfgNode {
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *Node) *Node {
 	if cur == nil {
 		return nil
 	}
@@ -152,7 +166,7 @@ func (b *cfgBuilder) stmt(s ast.Stmt, cur *cfgNode) *cfgNode {
 		cur = b.opsChain(cur, st.X)
 		// A statement-level panic(...) terminates the path.
 		if call, ok := st.X.(*ast.CallExpr); ok {
-			if op := b.a.classify(b.fi, call); op != nil && op.kind == opPanic {
+			if op := b.ir.classify(b.fi, call); op != nil && op.Kind == OpPanic {
 				return nil
 			}
 		}
@@ -200,7 +214,7 @@ func (b *cfgBuilder) stmt(s ast.Stmt, cur *cfgNode) *cfgNode {
 		} else {
 			edge(cur, after)
 		}
-		if len(after.succs) == 0 && thenEnd == nil && st.Else != nil {
+		if len(after.Succs) == 0 && thenEnd == nil && st.Else != nil {
 			// Both arms terminated; "after" is unreachable only if no edges
 			// lead in. Detect by absence of predecessors: handled naturally
 			// because we return after regardless — unreachable nodes simply
@@ -247,7 +261,7 @@ func (b *cfgBuilder) stmt(s ast.Stmt, cur *cfgNode) *cfgNode {
 		hasDefault := false
 		// Build clause bodies first so fallthrough can target the next one.
 		clauses := st.Body.List
-		bodyStart := make([]*cfgNode, len(clauses))
+		bodyStart := make([]*Node, len(clauses))
 		for i := range clauses {
 			bodyStart[i] = b.newNode(nil)
 		}
@@ -261,7 +275,7 @@ func (b *cfgBuilder) stmt(s ast.Stmt, cur *cfgNode) *cfgNode {
 				guard = b.opsChain(guard, e)
 			}
 			edge(guard, bodyStart[i])
-			var next *cfgNode
+			var next *Node
 			if i+1 < len(clauses) {
 				next = bodyStart[i+1]
 			}
@@ -341,7 +355,7 @@ func (b *cfgBuilder) stmt(s ast.Stmt, cur *cfgNode) *cfgNode {
 
 // caseBody builds a switch case body, wiring a trailing fallthrough to the
 // next clause's body start.
-func (b *cfgBuilder) caseBody(list []ast.Stmt, cur, next *cfgNode) *cfgNode {
+func (b *cfgBuilder) caseBody(list []ast.Stmt, cur, next *Node) *Node {
 	for i, s := range list {
 		if br, ok := s.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" && i == len(list)-1 {
 			edge(cur, next)
@@ -356,7 +370,7 @@ func (b *cfgBuilder) caseBody(list []ast.Stmt, cur, next *cfgNode) *cfgNode {
 }
 
 // stmt2 builds an optional simple statement (if/for init, for post).
-func (b *cfgBuilder) stmt2(s ast.Stmt, cur *cfgNode) *cfgNode {
+func (b *cfgBuilder) stmt2(s ast.Stmt, cur *Node) *Node {
 	if s == nil {
 		return cur
 	}
@@ -369,7 +383,7 @@ func (b *cfgBuilder) takeLabel() string {
 	return l
 }
 
-func (b *cfgBuilder) pushLoop(brk, cont *cfgNode, label string) {
+func (b *cfgBuilder) pushLoop(brk, cont *Node, label string) {
 	b.breakTargets = append(b.breakTargets, brk)
 	if cont != nil {
 		b.continueTargets = append(b.continueTargets, cont)

@@ -1,17 +1,8 @@
-// Package pmlint is a static PM-misuse analyzer for applications written
-// against the instrumented runtime API (internal/pmrt). It is the static
-// complement of the dynamic lockset analysis (internal/hawkset): because
-// every PM access, flush, fence and lock operation in the simulated
-// applications goes through the narrow pmrt.Ctx surface, the *source code*
-// itself is checkable for the misuse classes the paper hunts dynamically —
-// unpersisted stores, flushes never fenced, PM accesses outside any critical
-// section — plus one reproduction-specific class: apps bypassing the
-// cooperative scheduler with native Go concurrency, which would silently
-// break deterministic replay.
-//
-// The analyzer is stdlib-only (go/ast, go/parser, go/types); it loads the
-// module's packages itself rather than depending on golang.org/x/tools.
-package pmlint
+package cfgir
+
+// The loader: stdlib-only (go/ast, go/parser, go/types) package loading for
+// a single module, so the static tools need no dependency beyond the
+// standard library.
 
 import (
 	"fmt"
@@ -27,7 +18,7 @@ import (
 )
 
 // PmrtPath is the import path of the instrumented runtime package whose API
-// the checks key on.
+// the static analyses key on.
 const PmrtPath = "hawkset/internal/pmrt"
 
 // Package is one loaded, type-checked package.
@@ -64,7 +55,7 @@ func NewLoader(dir string) (*Loader, error) {
 		}
 		parent := filepath.Dir(root)
 		if parent == root {
-			return nil, fmt.Errorf("pmlint: no go.mod found above %s", abs)
+			return nil, fmt.Errorf("cfgir: no go.mod found above %s", abs)
 		}
 		root = parent
 	}
@@ -95,7 +86,7 @@ func modulePath(gomod string) (string, error) {
 			return strings.Trim(strings.TrimSpace(rest), `"`), nil
 		}
 	}
-	return "", fmt.Errorf("pmlint: no module directive in %s", gomod)
+	return "", fmt.Errorf("cfgir: no module directive in %s", gomod)
 }
 
 // Expand resolves command-line package patterns to directories. Supported
@@ -180,7 +171,7 @@ func (l *Loader) importPathOf(dir string) (string, error) {
 		return l.ModulePath, nil
 	}
 	if strings.HasPrefix(rel, "..") {
-		return "", fmt.Errorf("pmlint: %s is outside module %s", dir, l.ModuleDir)
+		return "", fmt.Errorf("cfgir: %s is outside module %s", dir, l.ModuleDir)
 	}
 	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
 }
@@ -205,7 +196,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		return p, nil
 	}
 	if l.loading[path] {
-		return nil, fmt.Errorf("pmlint: import cycle through %s", path)
+		return nil, fmt.Errorf("cfgir: import cycle through %s", path)
 	}
 	l.loading[path] = true
 	defer delete(l.loading, path)
@@ -232,7 +223,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return nil, fmt.Errorf("pmlint: no buildable Go files in %s", dir)
+		return nil, fmt.Errorf("cfgir: no buildable Go files in %s", dir)
 	}
 
 	info := &types.Info{
@@ -244,7 +235,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	conf := types.Config{Importer: (*loaderImporter)(l)}
 	tpkg, err := conf.Check(path, l.Fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("pmlint: type-checking %s: %w", path, err)
+		return nil, fmt.Errorf("cfgir: type-checking %s: %w", path, err)
 	}
 	p := &Package{Path: path, Dir: dir, Files: files, Pkg: tpkg, Info: info}
 	l.pkgs[path] = p

@@ -1,0 +1,140 @@
+package cfgir
+
+// Expression normalization: the spelling under which addresses and locks are
+// compared, both within a function and (via TranslateBase) across calls.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// NormExpr renders e with the enclosing method's receiver identifier
+// replaced by $recv, giving a spelling that is comparable across methods of
+// the same type.
+func (fi *FuncInfo) NormExpr(e ast.Expr) string {
+	var b strings.Builder
+	fi.render(&b, e)
+	return b.String()
+}
+
+// NormBase renders the base of an address expression: parentheses stripped
+// and trailing "+ offset" / "- offset" arithmetic dropped, so addr, addr+8
+// and addr+hdr*2 all normalize to addr. Heuristic by design — the analyzer
+// works at the granularity the dynamic tool resolves with real addresses.
+func (fi *FuncInfo) NormBase(e ast.Expr) string {
+	return fi.NormExpr(BaseExpr(e))
+}
+
+// BaseExpr strips parentheses and trailing +/- offset arithmetic.
+func BaseExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD || x.Op == token.SUB {
+				e = x.X
+				continue
+			}
+			return e
+		default:
+			return e
+		}
+	}
+}
+
+func (fi *FuncInfo) render(b *strings.Builder, e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if fi.Recv != "" && x.Name == fi.Recv {
+			b.WriteString("$recv")
+		} else {
+			b.WriteString(x.Name)
+		}
+	case *ast.SelectorExpr:
+		fi.render(b, x.X)
+		b.WriteByte('.')
+		b.WriteString(x.Sel.Name)
+	case *ast.IndexExpr:
+		fi.render(b, x.X)
+		b.WriteByte('[')
+		fi.render(b, x.Index)
+		b.WriteByte(']')
+	case *ast.ParenExpr:
+		fi.render(b, x.X)
+	case *ast.StarExpr:
+		b.WriteByte('*')
+		fi.render(b, x.X)
+	case *ast.UnaryExpr:
+		b.WriteString(x.Op.String())
+		fi.render(b, x.X)
+	case *ast.BinaryExpr:
+		fi.render(b, x.X)
+		b.WriteString(x.Op.String())
+		fi.render(b, x.Y)
+	case *ast.BasicLit:
+		b.WriteString(x.Value)
+	case *ast.CallExpr:
+		fi.render(b, x.Fun)
+		b.WriteByte('(')
+		for i, arg := range x.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fi.render(b, arg)
+		}
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "<%T>", e)
+	}
+}
+
+// RootIdent returns the leading identifier of a normalized base ("$recv" of
+// "$recv.segs", "addr" of "addr", "" when the base is not identifier-rooted).
+func RootIdent(base string) string {
+	for i := 0; i < len(base); i++ {
+		c := base[i]
+		if c == '.' || c == '[' || c == '(' || c == '+' || c == '-' || c == '*' {
+			return base[:i]
+		}
+	}
+	return base
+}
+
+// ParamIndex returns the index of name in params, or -1.
+func ParamIndex(params []string, name string) int {
+	for i, p := range params {
+		if p == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TranslateBase maps a callee-summary base to the caller's spelling at a
+// given call site: parameter-rooted bases substitute the corresponding
+// argument's base; $recv-rooted bases carry over verbatim when the call's
+// receiver is the caller's own receiver; closure bases rooted at captured
+// variables carry over verbatim (the call site shares the defining scope).
+// Returns "" when untranslatable.
+func TranslateBase(site *OpCall, callee *FuncInfo, base string) string {
+	root := RootIdent(base)
+	if i := ParamIndex(callee.Params, root); i >= 0 {
+		if i >= len(site.Args) || site.Args[i] == "" {
+			return ""
+		}
+		return site.Args[i] + base[len(root):]
+	}
+	if root == "$recv" {
+		if site.RecvIsRecv {
+			return base
+		}
+		return ""
+	}
+	if callee.IsClosure {
+		return base
+	}
+	return ""
+}

@@ -1,0 +1,318 @@
+package cfgir
+
+// Interprocedural summaries and the path walks the persistence checks (and
+// pmopt's redundancy passes) share. All summary bits grow monotonically, so
+// the fixpoint iterations terminate.
+
+// ComputeSummaries computes the fence/persist summaries (phase A), the
+// unpersisted-store summaries (phase B), and the leaked-flush summaries
+// (phase C) for every function, each to fixpoint across the call graph.
+// Idempotent: safe to call again after building derived state.
+func (ir *IR) ComputeSummaries() {
+	// Phase A: fence/persist summaries.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range ir.Funcs {
+			if ir.updatePersistSummary(fi) {
+				changed = true
+			}
+		}
+	}
+	// Phase B: unpersisted-store summaries (monotone: a store event
+	// propagates upward as StoresBases entries).
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range ir.Funcs {
+			if ir.updateStoreSummary(fi) {
+				changed = true
+			}
+		}
+	}
+	// Phase C: leaked-flush summaries.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range ir.Funcs {
+			leaks := false
+			for _, ev := range ir.FlushEvents(fi) {
+				if ir.UnfencedPathExists(fi, ev.Node) {
+					leaks = true
+					break
+				}
+			}
+			if leaks && !fi.LeaksFlush {
+				fi.LeaksFlush = true
+				changed = true
+			}
+		}
+	}
+}
+
+// IsFenceEvent reports whether node n completes pending flushes: a Fence, a
+// Persist (which always fences), or a call to a function that fences on
+// some path.
+func IsFenceEvent(n *Node) bool {
+	if n.Op == nil {
+		return false
+	}
+	switch n.Op.Kind {
+	case OpFence, OpPersist:
+		return true
+	case OpCallFn:
+		return n.Op.Callee.Fences
+	}
+	return false
+}
+
+// updatePersistSummary recomputes Fences and PersistsBases for fi; reports
+// whether anything changed.
+func (ir *IR) updatePersistSummary(fi *FuncInfo) bool {
+	changed := false
+	for _, n := range fi.CFG.Nodes {
+		if n.Op == nil {
+			continue
+		}
+		switch n.Op.Kind {
+		case OpFence, OpPersist:
+			if !fi.Fences {
+				fi.Fences = true
+				changed = true
+			}
+		case OpCallFn:
+			if n.Op.Callee.Fences && !fi.Fences {
+				fi.Fences = true
+				changed = true
+			}
+		}
+	}
+	// A base is persisted when a Persist covers it, when a Flush covers it
+	// and a fence event is reachable from the flush, or when a callee's
+	// summary says so (translated to this function's spelling).
+	record := func(base string) {
+		if base == "" {
+			return
+		}
+		root := RootIdent(base)
+		// Param- and receiver-rooted bases are useful summaries; closures
+		// additionally export captured-variable bases (same-scope callers).
+		if root != "$recv" && ParamIndex(fi.Params, root) < 0 && !fi.IsClosure {
+			return
+		}
+		if !fi.PersistsBases[base] {
+			fi.PersistsBases[base] = true
+			changed = true
+		}
+	}
+	for _, n := range fi.CFG.Nodes {
+		if n.Op == nil {
+			continue
+		}
+		switch n.Op.Kind {
+		case OpPersist:
+			record(n.Op.AddrBase)
+		case OpFlush:
+			if ir.FenceReachable(fi, n) {
+				record(n.Op.AddrBase)
+			}
+		case OpCallFn:
+			for base := range n.Op.Callee.PersistsBases {
+				record(TranslateBase(n.Op, n.Op.Callee, base))
+			}
+		}
+	}
+	return changed
+}
+
+// FenceReachable reports whether a fence event is reachable from n.
+func (ir *IR) FenceReachable(fi *FuncInfo, n *Node) bool {
+	seen := make([]bool, len(fi.CFG.Nodes))
+	stack := append([]*Node(nil), n.Succs...)
+	for len(stack) > 0 {
+		m := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[m.Idx] {
+			continue
+		}
+		seen[m.Idx] = true
+		if IsFenceEvent(m) {
+			return true
+		}
+		stack = append(stack, m.Succs...)
+	}
+	return false
+}
+
+// StoreEvent is a PM store occurrence in fi: direct, or propagated from a
+// callee whose summary records an unpersisted store to a translatable base.
+type StoreEvent struct {
+	Node *Node
+	// Bases holds the primary address base first, then the alternate bases
+	// (helper-call arguments) a covering persist may be spelled with.
+	Bases []string
+	// NeedFlush is false for NTStore8 (cache-bypassing; fence suffices).
+	NeedFlush bool
+	// Via names the callee chain for propagated events ("" for direct).
+	Via string
+}
+
+// StoreEvents collects fi's store occurrences, direct and propagated.
+func (ir *IR) StoreEvents(fi *FuncInfo) []StoreEvent {
+	var out []StoreEvent
+	for _, n := range fi.CFG.Nodes {
+		if n.Op == nil {
+			continue
+		}
+		switch {
+		case IsStoreKind(n.Op.Kind):
+			bases := append([]string{n.Op.AddrBase}, n.Op.AddrAlts...)
+			out = append(out, StoreEvent{Node: n, Bases: bases, NeedFlush: n.Op.Kind != OpNTStore})
+		case n.Op.Kind == OpCallFn:
+			for base := range n.Op.Callee.StoresBases {
+				if t := TranslateBase(n.Op, n.Op.Callee, base); t != "" {
+					out = append(out, StoreEvent{Node: n, Bases: []string{t}, NeedFlush: true, Via: n.Op.Callee.Name})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FlushEvent is a Flush occurrence: direct, or a call to a function whose
+// summary says it can leave a flush pending at exit.
+type FlushEvent struct {
+	Node *Node
+	Via  string
+}
+
+// FlushEvents collects fi's flush occurrences, direct and propagated.
+func (ir *IR) FlushEvents(fi *FuncInfo) []FlushEvent {
+	var out []FlushEvent
+	for _, n := range fi.CFG.Nodes {
+		if n.Op == nil {
+			continue
+		}
+		switch n.Op.Kind {
+		case OpFlush:
+			out = append(out, FlushEvent{Node: n})
+		case OpCallFn:
+			if n.Op.Callee.LeaksFlush {
+				out = append(out, FlushEvent{Node: n, Via: n.Op.Callee.Name})
+			}
+		}
+	}
+	return out
+}
+
+// PersistReachable reports whether, starting after the store at n, some
+// path performs a covering persist: Persist of one of the store's bases, a
+// Flush of one followed by a fence, or a callee whose summary persists one.
+func (ir *IR) PersistReachable(fi *FuncInfo, n *Node, bases []string, needFlush bool) bool {
+	match := func(b string) bool {
+		if b == "" {
+			return false
+		}
+		for _, sb := range bases {
+			if sb == b {
+				return true
+			}
+		}
+		return false
+	}
+	type state struct {
+		n       *Node
+		flushed bool
+	}
+	seen := make(map[state]bool)
+	var stack []state
+	for _, s := range n.Succs {
+		stack = append(stack, state{s, !needFlush})
+	}
+	for len(stack) > 0 {
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[st] {
+			continue
+		}
+		seen[st] = true
+		m, flushed := st.n, st.flushed
+		if m.Op != nil {
+			switch m.Op.Kind {
+			case OpPersist:
+				if match(m.Op.AddrBase) {
+					return true
+				}
+				if flushed {
+					return true // Persist fences, completing the earlier flush
+				}
+			case OpFlush:
+				if match(m.Op.AddrBase) {
+					flushed = true
+				}
+			case OpFence:
+				if flushed {
+					return true
+				}
+			case OpCallFn:
+				for cb := range m.Op.Callee.PersistsBases {
+					if match(TranslateBase(m.Op, m.Op.Callee, cb)) {
+						return true
+					}
+				}
+				if flushed && m.Op.Callee.Fences {
+					return true
+				}
+			}
+		}
+		for _, s := range m.Succs {
+			stack = append(stack, state{s, flushed})
+		}
+	}
+	return false
+}
+
+// updateStoreSummary records fi's unpersisted stores to param-/recv-rooted
+// bases when fi has analyzed callers (so call sites re-check them).
+func (ir *IR) updateStoreSummary(fi *FuncInfo) bool {
+	if len(fi.Callers) == 0 {
+		return false
+	}
+	changed := false
+	for _, ev := range ir.StoreEvents(fi) {
+		if ir.PersistReachable(fi, ev.Node, ev.Bases, ev.NeedFlush) {
+			continue
+		}
+		// Only the primary base propagates; helper-call addresses cannot be
+		// retargeted to a caller expression precisely.
+		root := RootIdent(ev.Bases[0])
+		if root != "$recv" && ParamIndex(fi.Params, root) < 0 && !fi.IsClosure {
+			continue
+		}
+		if !fi.StoresBases[ev.Bases[0]] {
+			fi.StoresBases[ev.Bases[0]] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// UnfencedPathExists reports whether some path from n reaches function exit
+// without crossing a fence event.
+func (ir *IR) UnfencedPathExists(fi *FuncInfo, n *Node) bool {
+	seen := make([]bool, len(fi.CFG.Nodes))
+	stack := append([]*Node(nil), n.Succs...)
+	for len(stack) > 0 {
+		m := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[m.Idx] {
+			continue
+		}
+		seen[m.Idx] = true
+		if IsFenceEvent(m) {
+			continue // this path is fenced; stop exploring it
+		}
+		if m == fi.CFG.Exit {
+			return true
+		}
+		stack = append(stack, m.Succs...)
+	}
+	return false
+}

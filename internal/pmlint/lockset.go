@@ -4,6 +4,8 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+
+	"hawkset/internal/pmlint/cfgir"
 )
 
 // Static lockset analysis: the source-level mirror of stage ③'s dynamic
@@ -75,13 +77,13 @@ func (s lockState) without(expr string) (lockState, bool) {
 type stateSet map[string]lockState
 
 // maxLockStates caps the per-node state count; beyond it the function's
-// lockset checks are skipped (lockBlowup) rather than risk exponential
+// lockset checks are skipped (LockBlowup) rather than risk exponential
 // blowup or noise.
 const maxLockStates = 64
 
 // accessInfo records one PM access with its effective lockset emptiness.
 type accessInfo struct {
-	fi       *funcInfo
+	fi       *cfgir.FuncInfo
 	pos      token.Pos
 	base     string
 	isStore  bool
@@ -93,33 +95,33 @@ type accessInfo struct {
 // protection over the call graph, and reports imbalance and empty-lockset
 // findings.
 func (a *analysis) checkLocksets() {
-	states := make(map[*funcInfo]map[*cfgNode]stateSet)
-	for _, fi := range a.funcs {
-		states[fi] = a.lockDataflow(fi)
+	states := make(map[*cfgir.FuncInfo]map[*cfgir.Node]stateSet)
+	for _, fi := range a.ir.Funcs {
+		states[fi] = lockDataflow(fi)
 	}
 
 	// entryHolds[f]: every analyzed call site of f holds a lock (locally or
 	// via its own callers). Optimistic start, monotone-decreasing fixpoint.
-	entryHolds := make(map[*funcInfo]bool)
-	for _, fi := range a.funcs {
-		entryHolds[fi] = len(fi.callers) > 0
+	entryHolds := make(map[*cfgir.FuncInfo]bool)
+	for _, fi := range a.ir.Funcs {
+		entryHolds[fi] = len(fi.Callers) > 0
 	}
-	siteByOp := make(map[*opCall]*funcInfo) // call op -> enclosing caller
-	for _, fi := range a.funcs {
-		for _, n := range fi.cfg.nodes {
-			if n.op != nil && n.op.kind == opCallFn {
-				siteByOp[n.op] = fi
+	siteByOp := make(map[*cfgir.OpCall]*cfgir.FuncInfo) // call op -> enclosing caller
+	for _, fi := range a.ir.Funcs {
+		for _, n := range fi.CFG.Nodes {
+			if n.Op != nil && n.Op.Kind == cfgir.OpCallFn {
+				siteByOp[n.Op] = fi
 			}
 		}
 	}
-	siteHeld := func(site *opCall) bool {
+	siteHeld := func(site *cfgir.OpCall) bool {
 		caller := siteByOp[site]
-		if caller == nil || caller.lockBlowup {
+		if caller == nil || caller.LockBlowup {
 			return false
 		}
 		var ss stateSet
 		for n, f := range states[caller] {
-			if n.op == site {
+			if n.Op == site {
 				ss = f
 				break
 			}
@@ -136,11 +138,11 @@ func (a *analysis) checkLocksets() {
 	}
 	for changed := true; changed; {
 		changed = false
-		for _, fi := range a.funcs {
+		for _, fi := range a.ir.Funcs {
 			if !entryHolds[fi] {
 				continue
 			}
-			for _, site := range fi.callers {
+			for _, site := range fi.Callers {
 				if !siteHeld(site) {
 					entryHolds[fi] = false
 					changed = true
@@ -152,14 +154,14 @@ func (a *analysis) checkLocksets() {
 
 	// Collect accesses and report imbalance.
 	var accesses []accessInfo
-	for _, fi := range a.funcs {
-		if fi.lockBlowup {
+	for _, fi := range a.ir.Funcs {
+		if fi.LockBlowup {
 			continue
 		}
 		nodeStates := states[fi]
 		// Exit-held locks: any state at exit with held locks.
 		reportedHeld := make(map[string]bool)
-		for _, st := range nodeStates[fi.cfg.exit] {
+		for _, st := range nodeStates[fi.CFG.Exit] {
 			for _, h := range st {
 				if reportedHeld[h.expr] {
 					continue
@@ -167,15 +169,15 @@ func (a *analysis) checkLocksets() {
 				reportedHeld[h.expr] = true
 				a.report(h.pos, "lock-imbalance",
 					"lock %s acquired in %s may still be held at function exit",
-					h.expr, fi.name)
+					h.expr, fi.Name)
 			}
 		}
-		for _, n := range fi.cfg.nodes {
-			if n.op == nil {
+		for _, n := range fi.CFG.Nodes {
+			if n.Op == nil {
 				continue
 			}
-			switch n.op.kind {
-			case opUnlock:
+			switch n.Op.Kind {
+			case cfgir.OpUnlock:
 				// Report only when NO reachable state holds the lock: a
 				// conditionally-deferred unlock (if cond { Lock; defer
 				// Unlock }) replays at exits whose states legitimately
@@ -183,25 +185,25 @@ func (a *analysis) checkLocksets() {
 				ss := nodeStates[n]
 				anyHeld := len(ss) == 0
 				for _, st := range ss {
-					if _, ok := st.without(n.op.lockExpr); ok {
+					if _, ok := st.without(n.Op.LockExpr); ok {
 						anyHeld = true
 						break
 					}
 				}
 				if !anyHeld {
-					a.report(n.op.pos, "lock-imbalance",
+					a.report(n.Op.Pos, "lock-imbalance",
 						"unlock of %s in %s without a matching acquisition on any path",
-						n.op.lockExpr, fi.name)
+						n.Op.LockExpr, fi.Name)
 				}
-			case opStore, opNTStore, opCAS, opZero, opLoad:
+			case cfgir.OpStore, cfgir.OpNTStore, cfgir.OpCAS, cfgir.OpZero, cfgir.OpLoad:
 				ss := nodeStates[n]
 				if len(ss) == 0 {
 					continue // unreachable
 				}
 				held := intersectStates(ss)
 				accesses = append(accesses, accessInfo{
-					fi: fi, pos: n.op.pos, base: n.op.addrBase,
-					isStore:  isStoreKind(n.op.kind),
+					fi: fi, pos: n.Op.Pos, base: n.Op.AddrBase,
+					isStore:  cfgir.IsStoreKind(n.Op.Kind),
 					held:     held,
 					lockFree: len(held) == 0 && !entryHolds[fi],
 				})
@@ -214,10 +216,10 @@ func (a *analysis) checkLocksets() {
 	type groupKey struct{ pkg, recvType, base string }
 	groups := make(map[groupKey][]accessInfo)
 	for _, acc := range accesses {
-		if rootIdent(acc.base) != "$recv" || acc.fi.recvType == "" {
+		if cfgir.RootIdent(acc.base) != "$recv" || acc.fi.RecvType == "" {
 			continue
 		}
-		k := groupKey{acc.fi.pkg.Path, acc.fi.recvType, acc.base}
+		k := groupKey{acc.fi.Pkg.Path, acc.fi.RecvType, acc.base}
 		groups[k] = append(groups[k], acc)
 	}
 	for k, accs := range groups {
@@ -241,7 +243,7 @@ func (a *analysis) checkLocksets() {
 			}
 			a.report(acc.pos, "empty-lockset",
 				"%s %s in %s has empty static lockset, but (%s).%s accesses are protected by %s elsewhere",
-				kind, acc.base, acc.fi.name, k.recvType, strings.TrimPrefix(acc.base, "$recv."),
+				kind, acc.base, acc.fi.Name, k.recvType, strings.TrimPrefix(acc.base, "$recv."),
 				protector.held[0].expr)
 		}
 	}
@@ -274,16 +276,16 @@ func intersectStates(ss stateSet) lockState {
 // lockDataflow runs the worklist algorithm over fi's CFG, producing the
 // reachable lock states at every node. The fact at a node describes the
 // state BEFORE its operation executes.
-func (a *analysis) lockDataflow(fi *funcInfo) map[*cfgNode]stateSet {
-	facts := make(map[*cfgNode]stateSet, len(fi.cfg.nodes))
+func lockDataflow(fi *cfgir.FuncInfo) map[*cfgir.Node]stateSet {
+	facts := make(map[*cfgir.Node]stateSet, len(fi.CFG.Nodes))
 	entry := stateSet{lockState(nil).key(): nil}
-	facts[fi.cfg.entry] = entry
-	work := []*cfgNode{fi.cfg.entry}
+	facts[fi.CFG.Entry] = entry
+	work := []*cfgir.Node{fi.CFG.Entry}
 	for len(work) > 0 {
 		n := work[len(work)-1]
 		work = work[:len(work)-1]
 		out := transferStates(facts[n], n)
-		for _, s := range n.succs {
+		for _, s := range n.Succs {
 			f := facts[s]
 			if f == nil {
 				f = make(stateSet)
@@ -297,7 +299,7 @@ func (a *analysis) lockDataflow(fi *funcInfo) map[*cfgNode]stateSet {
 				}
 			}
 			if len(f) > maxLockStates {
-				fi.lockBlowup = true
+				fi.LockBlowup = true
 				return facts
 			}
 			if changed {
@@ -309,17 +311,17 @@ func (a *analysis) lockDataflow(fi *funcInfo) map[*cfgNode]stateSet {
 }
 
 // transferStates applies node n's operation to every incoming state.
-func transferStates(in stateSet, n *cfgNode) stateSet {
-	if n.op == nil || (n.op.kind != opLock && n.op.kind != opUnlock) {
+func transferStates(in stateSet, n *cfgir.Node) stateSet {
+	if n.Op == nil || (n.Op.Kind != cfgir.OpLock && n.Op.Kind != cfgir.OpUnlock) {
 		return in
 	}
 	out := make(stateSet, len(in))
 	for _, st := range in {
 		var next lockState
-		if n.op.kind == opLock {
-			next = st.with(lockHold{expr: n.op.lockExpr, pos: n.op.pos})
+		if n.Op.Kind == cfgir.OpLock {
+			next = st.with(lockHold{expr: n.Op.LockExpr, pos: n.Op.Pos})
 		} else {
-			next, _ = st.without(n.op.lockExpr)
+			next, _ = st.without(n.Op.LockExpr)
 		}
 		out[next.key()] = next
 	}

@@ -2,10 +2,11 @@ package pmlint
 
 // Persistence checks: missing-persist and flush-no-fence.
 //
-// Both are intraprocedural path walks over the CFG with interprocedural
-// summaries so helper functions that persist (or flush, or fence) on a
-// caller's behalf are recognized. The reporting rule is deliberately the
-// low-false-positive direction of each property:
+// Both are intraprocedural path walks over the shared IR's CFGs with
+// interprocedural summaries (cfgir.ComputeSummaries) so helper functions
+// that persist (or flush, or fence) on a caller's behalf are recognized.
+// The reporting rule is deliberately the low-false-positive direction of
+// each property:
 //
 //   - missing-persist flags a store only when NO path from it reaches a
 //     covering Flush+Fence or Persist — a store that is persisted on some
@@ -22,302 +23,23 @@ package pmlint
 // persisting it") and are re-checked there — the helper-stores /
 // caller-persists split every app in internal/apps uses.
 
-// checkPersist runs both persistence checks.
+import "hawkset/internal/pmlint/cfgir"
+
+// checkPersist computes the shared summaries and runs both persistence
+// checks' reporting passes.
 func (a *analysis) checkPersist() {
-	// Phase A: fence/persist summaries to fixpoint. All summary bits grow
-	// monotonically, so iteration terminates.
-	for changed := true; changed; {
-		changed = false
-		for _, fi := range a.funcs {
-			if a.updatePersistSummary(fi) {
-				changed = true
-			}
-		}
-	}
-	// Phase B: unpersisted-store summaries to fixpoint (monotone: a store
-	// event propagates upward as storesBases entries).
-	for changed := true; changed; {
-		changed = false
-		for _, fi := range a.funcs {
-			if a.updateStoreSummary(fi) {
-				changed = true
-			}
-		}
-	}
-	// Phase C: leaked-flush summaries to fixpoint.
-	for changed := true; changed; {
-		changed = false
-		for _, fi := range a.funcs {
-			leaks := false
-			for _, ev := range a.flushEvents(fi) {
-				if a.unfencedPathExists(fi, ev.node) {
-					leaks = true
-					break
-				}
-			}
-			if leaks && !fi.leaksFlush {
-				fi.leaksFlush = true
-				changed = true
-			}
-		}
-	}
-	// Phase D: reporting.
-	for _, fi := range a.funcs {
+	a.ir.ComputeSummaries()
+	for _, fi := range a.ir.Funcs {
 		a.reportPersist(fi)
 	}
 }
 
-// isFenceEvent reports whether node n completes pending flushes: a Fence, a
-// Persist (which always fences), or a call to a function that fences on
-// some path.
-func isFenceEvent(n *cfgNode) bool {
-	if n.op == nil {
-		return false
-	}
-	switch n.op.kind {
-	case opFence, opPersist:
-		return true
-	case opCallFn:
-		return n.op.callee.fences
-	}
-	return false
-}
-
-// updatePersistSummary recomputes fences and persistsBases for fi; reports
-// whether anything changed.
-func (a *analysis) updatePersistSummary(fi *funcInfo) bool {
-	changed := false
-	for _, n := range fi.cfg.nodes {
-		if n.op == nil {
-			continue
-		}
-		switch n.op.kind {
-		case opFence, opPersist:
-			if !fi.fences {
-				fi.fences = true
-				changed = true
-			}
-		case opCallFn:
-			if n.op.callee.fences && !fi.fences {
-				fi.fences = true
-				changed = true
-			}
-		}
-	}
-	// A base is persisted when a Persist covers it, when a Flush covers it
-	// and a fence event is reachable from the flush, or when a callee's
-	// summary says so (translated to this function's spelling).
-	record := func(base string) {
-		if base == "" {
-			return
-		}
-		root := rootIdent(base)
-		// Param- and receiver-rooted bases are useful summaries; closures
-		// additionally export captured-variable bases (same-scope callers).
-		if root != "$recv" && paramIndex(fi.params, root) < 0 && !fi.isClosure {
-			return
-		}
-		if !fi.persistsBases[base] {
-			fi.persistsBases[base] = true
-			changed = true
-		}
-	}
-	for _, n := range fi.cfg.nodes {
-		if n.op == nil {
-			continue
-		}
-		switch n.op.kind {
-		case opPersist:
-			record(n.op.addrBase)
-		case opFlush:
-			if a.fenceReachable(fi, n) {
-				record(n.op.addrBase)
-			}
-		case opCallFn:
-			for base := range n.op.callee.persistsBases {
-				record(translateBase(n.op, n.op.callee, base))
-			}
-		}
-	}
-	return changed
-}
-
-// fenceReachable reports whether a fence event is reachable from n.
-func (a *analysis) fenceReachable(fi *funcInfo, n *cfgNode) bool {
-	seen := make([]bool, len(fi.cfg.nodes))
-	stack := append([]*cfgNode(nil), n.succs...)
-	for len(stack) > 0 {
-		m := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if seen[m.idx] {
-			continue
-		}
-		seen[m.idx] = true
-		if isFenceEvent(m) {
-			return true
-		}
-		stack = append(stack, m.succs...)
-	}
-	return false
-}
-
-// storeEvent is a PM store occurrence in fi: direct, or propagated from a
-// callee whose summary records an unpersisted store to a translatable base.
-type storeEvent struct {
-	node *cfgNode
-	// bases holds the primary address base first, then the alternate bases
-	// (helper-call arguments) a covering persist may be spelled with.
-	bases []string
-	// needFlush is false for NTStore8 (cache-bypassing; fence suffices).
-	needFlush bool
-	// via names the callee chain for propagated events ("" for direct).
-	via string
-}
-
-func (a *analysis) storeEvents(fi *funcInfo) []storeEvent {
-	var out []storeEvent
-	for _, n := range fi.cfg.nodes {
-		if n.op == nil {
-			continue
-		}
-		switch {
-		case isStoreKind(n.op.kind):
-			bases := append([]string{n.op.addrBase}, n.op.addrAlts...)
-			out = append(out, storeEvent{node: n, bases: bases, needFlush: n.op.kind != opNTStore})
-		case n.op.kind == opCallFn:
-			for base := range n.op.callee.storesBases {
-				if t := translateBase(n.op, n.op.callee, base); t != "" {
-					out = append(out, storeEvent{node: n, bases: []string{t}, needFlush: true, via: n.op.callee.name})
-				}
-			}
-		}
-	}
-	return out
-}
-
-// flushEvent is a Flush occurrence: direct, or a call to a function whose
-// summary says it can leave a flush pending at exit.
-type flushEvent struct {
-	node *cfgNode
-	via  string
-}
-
-func (a *analysis) flushEvents(fi *funcInfo) []flushEvent {
-	var out []flushEvent
-	for _, n := range fi.cfg.nodes {
-		if n.op == nil {
-			continue
-		}
-		switch n.op.kind {
-		case opFlush:
-			out = append(out, flushEvent{node: n})
-		case opCallFn:
-			if n.op.callee.leaksFlush {
-				out = append(out, flushEvent{node: n, via: n.op.callee.name})
-			}
-		}
-	}
-	return out
-}
-
-// persistReachable reports whether, starting after the store at n, some
-// path performs a covering persist: Persist of one of the store's bases, a
-// Flush of one followed by a fence, or a callee whose summary persists one.
-func (a *analysis) persistReachable(fi *funcInfo, n *cfgNode, bases []string, needFlush bool) bool {
-	match := func(b string) bool {
-		if b == "" {
-			return false
-		}
-		for _, sb := range bases {
-			if sb == b {
-				return true
-			}
-		}
-		return false
-	}
-	type state struct {
-		n       *cfgNode
-		flushed bool
-	}
-	seen := make(map[state]bool)
-	var stack []state
-	for _, s := range n.succs {
-		stack = append(stack, state{s, !needFlush})
-	}
-	for len(stack) > 0 {
-		st := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if seen[st] {
-			continue
-		}
-		seen[st] = true
-		m, flushed := st.n, st.flushed
-		if m.op != nil {
-			switch m.op.kind {
-			case opPersist:
-				if match(m.op.addrBase) {
-					return true
-				}
-				if flushed {
-					return true // Persist fences, completing the earlier flush
-				}
-			case opFlush:
-				if match(m.op.addrBase) {
-					flushed = true
-				}
-			case opFence:
-				if flushed {
-					return true
-				}
-			case opCallFn:
-				for cb := range m.op.callee.persistsBases {
-					if match(translateBase(m.op, m.op.callee, cb)) {
-						return true
-					}
-				}
-				if flushed && m.op.callee.fences {
-					return true
-				}
-			}
-		}
-		for _, s := range m.succs {
-			stack = append(stack, state{s, flushed})
-		}
-	}
-	return false
-}
-
-// updateStoreSummary records fi's unpersisted stores to param-/recv-rooted
-// bases when fi has analyzed callers (so call sites re-check them).
-func (a *analysis) updateStoreSummary(fi *funcInfo) bool {
-	if len(fi.callers) == 0 {
-		return false
-	}
-	changed := false
-	for _, ev := range a.storeEvents(fi) {
-		if a.persistReachable(fi, ev.node, ev.bases, ev.needFlush) {
-			continue
-		}
-		// Only the primary base propagates; helper-call addresses cannot be
-		// retargeted to a caller expression precisely.
-		root := rootIdent(ev.bases[0])
-		if root != "$recv" && paramIndex(fi.params, root) < 0 && !fi.isClosure {
-			continue
-		}
-		if !fi.storesBases[ev.bases[0]] {
-			fi.storesBases[ev.bases[0]] = true
-			changed = true
-		}
-	}
-	return changed
-}
-
 // reportPersist emits the findings for fi: unpersisted stores that cannot be
 // attributed to a caller, and flushes with a fence-free path to exit.
-func (a *analysis) reportPersist(fi *funcInfo) {
-	hasCallers := len(fi.callers) > 0
-	for _, ev := range a.storeEvents(fi) {
-		if a.persistReachable(fi, ev.node, ev.bases, ev.needFlush) {
+func (a *analysis) reportPersist(fi *cfgir.FuncInfo) {
+	hasCallers := len(fi.Callers) > 0
+	for _, ev := range a.ir.StoreEvents(fi) {
+		if a.ir.PersistReachable(fi, ev.Node, ev.Bases, ev.NeedFlush) {
 			continue
 		}
 		// Stores whose address is rooted at a parameter or the receiver (in
@@ -325,9 +47,9 @@ func (a *analysis) reportPersist(fi *funcInfo) {
 		// call sites re-check them via the summary, so functions with
 		// analyzed callers stay silent here.
 		if hasCallers {
-			attributable := fi.isClosure
-			for _, b := range ev.bases {
-				if r := rootIdent(b); r == "$recv" || paramIndex(fi.params, r) >= 0 {
+			attributable := fi.IsClosure
+			for _, b := range ev.Bases {
+				if r := cfgir.RootIdent(b); r == "$recv" || cfgir.ParamIndex(fi.Params, r) >= 0 {
 					attributable = true
 					break
 				}
@@ -337,49 +59,26 @@ func (a *analysis) reportPersist(fi *funcInfo) {
 			}
 		}
 		what := "store"
-		if ev.via != "" {
-			what = "store via " + ev.via
+		if ev.Via != "" {
+			what = "store via " + ev.Via
 		}
-		a.report(ev.node.op.pos, "missing-persist",
+		a.report(ev.Node.Op.Pos, "missing-persist",
 			"%s to %s in %s has no reachable flush+fence or persist before function exit",
-			what, ev.bases[0], fi.name)
+			what, ev.Bases[0], fi.Name)
 	}
 	if hasCallers {
 		return // leaked flushes were propagated to call sites
 	}
-	for _, ev := range a.flushEvents(fi) {
-		if !a.unfencedPathExists(fi, ev.node) {
+	for _, ev := range a.ir.FlushEvents(fi) {
+		if !a.ir.UnfencedPathExists(fi, ev.Node) {
 			continue
 		}
 		what := "flush"
-		if ev.via != "" {
-			what = "flush via " + ev.via
+		if ev.Via != "" {
+			what = "flush via " + ev.Via
 		}
-		a.report(ev.node.op.pos, "flush-no-fence",
+		a.report(ev.Node.Op.Pos, "flush-no-fence",
 			"%s in %s can reach function exit with no following fence",
-			what, fi.name)
+			what, fi.Name)
 	}
-}
-
-// unfencedPathExists reports whether some path from n reaches function exit
-// without crossing a fence event.
-func (a *analysis) unfencedPathExists(fi *funcInfo, n *cfgNode) bool {
-	seen := make([]bool, len(fi.cfg.nodes))
-	stack := append([]*cfgNode(nil), n.succs...)
-	for len(stack) > 0 {
-		m := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if seen[m.idx] {
-			continue
-		}
-		seen[m.idx] = true
-		if isFenceEvent(m) {
-			continue // this path is fenced; stop exploring it
-		}
-		if m == fi.cfg.exit {
-			return true
-		}
-		stack = append(stack, m.succs...)
-	}
-	return false
 }

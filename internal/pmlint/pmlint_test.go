@@ -66,6 +66,15 @@ func TestFixtures(t *testing.T) {
 			},
 		},
 		{
+			// deferloop pins the builder's defer-inside-loop approximation
+			// (see the fixture's doc comment): the behavior contract the
+			// cfgir extraction must preserve bit-for-bit.
+			names: []string{"deferloop"},
+			want: []string{
+				pfx + "deferloop/deferloop.go:37: [flush-no-fence] flush in EarlyReturnBeforeLoopDefer can reach function exit with no following fence",
+			},
+		},
+		{
 			names: []string{"lockimbalance"},
 			want: []string{
 				pfx + "lockimbalance/lockimbalance.go:17: [lock-imbalance] lock $recv.mu acquired in (*S).BadHeld may still be held at function exit",

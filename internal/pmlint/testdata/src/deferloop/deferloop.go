@@ -1,0 +1,79 @@
+// Package deferloop pins the CFG builder's treatment of defer inside loops.
+//
+// The builder records a deferred op chain once per *syntactic* defer
+// statement, at the point the statement is visited, and replays every chain
+// recorded so far (in reverse) at each function exit. Two deliberate
+// approximations follow for a `defer c.Fence()` inside a loop body:
+//
+//  1. Exits reached *after* the loop in source order replay the fence even
+//     when the loop may run zero times — so a flush before the loop is
+//     considered fenced (optimistic for flush-no-fence, conservative in the
+//     sense that pmlint stays quiet rather than guessing iteration counts).
+//  2. Exits *before* the defer statement in source order do not see it, even
+//     though Go would not have registered the defer yet either — so those
+//     paths are judged exactly.
+//
+// This fixture is the behavior contract for the cfgir extraction: the
+// refactor must keep both properties bit-for-bit (same findings, same
+// silence).
+package deferloop
+
+import "hawkset/internal/pmrt"
+
+// LoopDeferFence flushes, then defers a fence from inside a loop that may
+// run zero times. Pinned: NO finding — the deferred fence is replayed at the
+// function exit regardless of iteration count.
+func LoopDeferFence(c *pmrt.Ctx, addr uint64, n int) {
+	c.Flush(addr)
+	for i := 0; i < n; i++ {
+		defer c.Fence()
+	}
+}
+
+// EarlyReturnBeforeLoopDefer leaks the flush on the early-return path: the
+// loop's deferred fence is recorded after that exit in source order, so the
+// exit replays nothing. MISUSE (pinned finding).
+func EarlyReturnBeforeLoopDefer(c *pmrt.Ctx, addr uint64, skip bool, n int) {
+	c.Flush(addr)
+	if skip {
+		return
+	}
+	for i := 0; i < n; i++ {
+		defer c.Fence()
+	}
+}
+
+// FlushAfterLoopDefer flushes after the loop body that defers the fence; the
+// exit still replays the deferred chain, covering the flush. Pinned: NO
+// finding.
+func FlushAfterLoopDefer(c *pmrt.Ctx, addr uint64, n int) {
+	for i := 0; i < n; i++ {
+		defer c.Fence()
+	}
+	c.Flush(addr)
+}
+
+// NestedLoopDefer defers the fence from a doubly-nested loop; the chain is
+// still recorded once and replayed at exit. Pinned: NO finding.
+func NestedLoopDefer(c *pmrt.Ctx, addr uint64, n int) {
+	c.Flush(addr)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			defer c.Fence()
+		}
+	}
+}
+
+// BreakBeforeDefer exits the loop via break on a path that skips the defer
+// statement in every iteration the analyzer considers; the defer is still
+// recorded for the function exit because the statement was visited. Pinned:
+// NO finding.
+func BreakBeforeDefer(c *pmrt.Ctx, addr uint64, n int) {
+	c.Flush(addr)
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			break
+		}
+		defer c.Fence()
+	}
+}

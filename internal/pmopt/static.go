@@ -1,0 +1,338 @@
+package pmopt
+
+// Static redundancy passes over the shared IR (internal/pmlint/cfgir): the
+// inverse of pmlint's persistence checks. Where pmlint proves a store is
+// never persisted, these passes prove a flush or fence is never *needed* —
+// on every CFG path, at the same all-paths strength, with the opposite
+// conservative direction: pmlint under-reports misuse, pmopt under-claims
+// redundancy. Anything uncertain (aliasing, cycles, unresolved callees,
+// function entry) defeats the claim.
+//
+// The claims are line-granular: two address expressions with the same
+// normalized base (`it+offVal` and `it+offCAS` both normalize to `it`) are
+// treated as the same cache line, which is only true when the object fits a
+// line. That imprecision is deliberate — every static claim is cross-checked
+// against the byte-precise dynamic journal before it is trusted (the tier
+// system), so a too-coarse claim surfaces as `refuted`, never as a wrong
+// elimination.
+
+import (
+	"fmt"
+
+	"hawkset/internal/pmlint/cfgir"
+)
+
+// staticSite aggregates the static view of one source site (file:line) that
+// issues flushes and/or fences.
+type staticSite struct {
+	Fn string // enclosing function name
+	Op string // "flush", "fence" or "persist"
+	// Claims, conjoined over every CFG node at the site (a deferred op
+	// replays at several nodes; all must agree):
+	Dup     bool // (a) duplicate-flush: same-base flush earlier on all paths
+	Empty   bool // (b) empty-fence: no pending flush reaches this fence
+	AfterNT bool // (c) flush-after-nt-store: the flushed data went through NT stores
+	nodes   int
+}
+
+// Claim reports whether any redundancy claim survived all nodes.
+func (s *staticSite) Claim() bool { return s.Dup || s.Empty || s.AfterNT }
+
+// Kind returns the claim's candidate kind, strongest first.
+func (s *staticSite) Kind() string {
+	switch {
+	case s.Dup:
+		return "duplicate-flush"
+	case s.Empty:
+		return "empty-fence"
+	case s.AfterNT:
+		return "flush-after-nt-store"
+	}
+	return ""
+}
+
+// analyzeStatic runs the three passes over every function of the IR and
+// returns per-site verdicts keyed by module-relative "file.go:line".
+func analyzeStatic(ir *cfgir.IR) map[string]*staticSite {
+	sum := newSummaries(ir)
+	out := make(map[string]*staticSite)
+	for _, fi := range ir.Funcs {
+		if fi.CFG == nil {
+			continue
+		}
+		preds := fi.CFG.Preds()
+		for _, n := range fi.CFG.Nodes {
+			if n.Op == nil {
+				continue
+			}
+			var op string
+			switch n.Op.Kind {
+			case cfgir.OpFlush:
+				op = "flush"
+			case cfgir.OpFence:
+				op = "fence"
+			case cfgir.OpPersist:
+				op = "persist"
+			default:
+				continue
+			}
+			file, line, _ := ir.PosOf(n.Op.Pos)
+			key := fmt.Sprintf("%s:%d", file, line)
+			s := out[key]
+			if s == nil {
+				s = &staticSite{Fn: fi.Name, Op: op, Dup: true, Empty: true, AfterNT: true}
+				out[key] = s
+			}
+			s.nodes++
+			// Conjoin this node's verdicts into the site's.
+			if op == "fence" {
+				s.Dup, s.AfterNT = false, false
+				s.Empty = s.Empty && emptyBack(fi, preds, n, sum)
+				continue
+			}
+			s.Empty = false
+			if n.Op.AddrBase == "" {
+				s.Dup, s.AfterNT = false, false
+				continue
+			}
+			s.Dup = s.Dup && coveredBack(fi, preds, n, sum)
+			// Pass (c) applies to standalone flushes only: eliding the flush
+			// half of a Persist while keeping its fence is not expressible.
+			s.AfterNT = s.AfterNT && op == "flush" && ntBack(fi, preds, n, sum)
+		}
+	}
+	// Drop the vacuous all-true initialization for sites whose every node
+	// fell through without evaluation (cannot happen — every node evaluates
+	// at least one pass — but keep the invariant explicit).
+	for key, s := range out {
+		if s.nodes == 0 {
+			delete(out, key)
+		}
+	}
+	return out
+}
+
+// summaries holds the transitive call-graph facts the backward walks need.
+type summaries struct {
+	// writesPM: the callee (or anything it calls) performs a PM store of any
+	// kind — it may dirty the candidate's line, so it kills coverage claims.
+	writesPM map[*cfgir.FuncInfo]bool
+	// mayPend: the callee may add pending flush entries (flush, NT store,
+	// persist anywhere below it) — it kills empty-fence claims.
+	mayPend map[*cfgir.FuncInfo]bool
+}
+
+func newSummaries(ir *cfgir.IR) *summaries {
+	s := &summaries{
+		writesPM: make(map[*cfgir.FuncInfo]bool),
+		mayPend:  make(map[*cfgir.FuncInfo]bool),
+	}
+	for _, fi := range ir.Funcs {
+		s.computeWrites(fi, make(map[*cfgir.FuncInfo]bool))
+		s.computePends(fi, make(map[*cfgir.FuncInfo]bool))
+	}
+	return s
+}
+
+func (s *summaries) computeWrites(fi *cfgir.FuncInfo, walking map[*cfgir.FuncInfo]bool) bool {
+	if v, ok := s.writesPM[fi]; ok {
+		return v
+	}
+	if walking[fi] {
+		return true // recursion: assume the worst, do not memoize mid-cycle
+	}
+	walking[fi] = true
+	defer delete(walking, fi)
+	v := false
+	if fi.CFG != nil {
+		for _, n := range fi.CFG.Nodes {
+			if n.Op == nil {
+				continue
+			}
+			if cfgir.IsStoreKind(n.Op.Kind) {
+				v = true
+				break
+			}
+			if n.Op.Kind == cfgir.OpCallFn {
+				if n.Op.Callee == nil || s.computeWrites(n.Op.Callee, walking) {
+					v = true
+					break
+				}
+			}
+		}
+	}
+	s.writesPM[fi] = v
+	return v
+}
+
+func (s *summaries) computePends(fi *cfgir.FuncInfo, walking map[*cfgir.FuncInfo]bool) bool {
+	if v, ok := s.mayPend[fi]; ok {
+		return v
+	}
+	if walking[fi] {
+		return true
+	}
+	walking[fi] = true
+	defer delete(walking, fi)
+	v := false
+	if fi.CFG != nil {
+		for _, n := range fi.CFG.Nodes {
+			if n.Op == nil {
+				continue
+			}
+			switch n.Op.Kind {
+			case cfgir.OpFlush, cfgir.OpNTStore, cfgir.OpPersist:
+				v = true
+			case cfgir.OpCallFn:
+				v = n.Op.Callee == nil || s.computePends(n.Op.Callee, walking)
+			}
+			if v {
+				break
+			}
+		}
+	}
+	s.mayPend[fi] = v
+	return v
+}
+
+// Backward all-paths walk. class returns >0 when the node satisfies the
+// property (the path is good from here), <0 when it defeats it, 0 when
+// neutral. Function entry defeats; cycles defeat (conservative); an
+// unreachable candidate claims nothing.
+func backAll(fi *cfgir.FuncInfo, preds [][]*cfgir.Node, from *cfgir.Node, class func(*cfgir.Node) int) bool {
+	const (
+		unvisited = iota
+		inProgress
+		safe
+		unsafe
+	)
+	state := make([]uint8, len(fi.CFG.Nodes))
+	var walk func(n *cfgir.Node) bool
+	walk = func(n *cfgir.Node) bool {
+		switch c := class(n); {
+		case c > 0:
+			return true
+		case c < 0:
+			return false
+		}
+		if n == fi.CFG.Entry {
+			return false
+		}
+		switch state[n.Idx] {
+		case safe:
+			return true
+		case unsafe, inProgress:
+			return false
+		}
+		state[n.Idx] = inProgress
+		ok := true
+		for _, p := range preds[n.Idx] {
+			if !walk(p) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			state[n.Idx] = safe
+		} else {
+			state[n.Idx] = unsafe
+		}
+		return ok
+	}
+	ps := preds[from.Idx]
+	if len(ps) == 0 {
+		return false
+	}
+	for _, p := range ps {
+		if !walk(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// matchesBase reports whether op's address (base or helper-call argument
+// bases) covers base.
+func matchesBase(op *cfgir.OpCall, base string) bool {
+	if op.AddrBase == base {
+		return true
+	}
+	for _, a := range op.AddrAlts {
+		if a == base {
+			return true
+		}
+	}
+	return false
+}
+
+// coveredBack implements pass (a): every backward path from n reaches a
+// same-base flush/persist before any PM store (of any base — no aliasing
+// reasoning, maximally conservative) or PM-writing call.
+func coveredBack(fi *cfgir.FuncInfo, preds [][]*cfgir.Node, n *cfgir.Node, sum *summaries) bool {
+	base := n.Op.AddrBase
+	return backAll(fi, preds, n, func(m *cfgir.Node) int {
+		if m.Op == nil {
+			return 0
+		}
+		switch m.Op.Kind {
+		case cfgir.OpFlush, cfgir.OpPersist:
+			if matchesBase(m.Op, base) {
+				return 1
+			}
+			return 0
+		case cfgir.OpCallFn:
+			if m.Op.Callee == nil || sum.writesPM[m.Op.Callee] {
+				return -1
+			}
+			return 0
+		}
+		if cfgir.IsStoreKind(m.Op.Kind) {
+			return -1
+		}
+		return 0
+	})
+}
+
+// emptyBack implements pass (b): every backward path from the fence reaches
+// a pending-clearing op (fence, or persist — which ends in a fence) before
+// anything that adds pending entries (flush, NT store, or a call that may).
+func emptyBack(fi *cfgir.FuncInfo, preds [][]*cfgir.Node, n *cfgir.Node, sum *summaries) bool {
+	return backAll(fi, preds, n, func(m *cfgir.Node) int {
+		if m.Op == nil {
+			return 0
+		}
+		switch m.Op.Kind {
+		case cfgir.OpFence, cfgir.OpPersist:
+			return 1
+		case cfgir.OpFlush, cfgir.OpNTStore:
+			return -1
+		case cfgir.OpCallFn:
+			if m.Op.Callee == nil || sum.mayPend[m.Op.Callee] {
+				return -1
+			}
+		}
+		return 0
+	})
+}
+
+// ntBack implements pass (c): on every backward path, the nearest PM store
+// is a same-base NT store — the flushed line's fresh data bypassed the
+// cache, so only the fence was required.
+func ntBack(fi *cfgir.FuncInfo, preds [][]*cfgir.Node, n *cfgir.Node, sum *summaries) bool {
+	base := n.Op.AddrBase
+	return backAll(fi, preds, n, func(m *cfgir.Node) int {
+		if m.Op == nil {
+			return 0
+		}
+		if m.Op.Kind == cfgir.OpNTStore && m.Op.AddrBase == base {
+			return 1
+		}
+		if cfgir.IsStoreKind(m.Op.Kind) {
+			return -1
+		}
+		if m.Op.Kind == cfgir.OpCallFn && (m.Op.Callee == nil || sum.writesPM[m.Op.Callee]) {
+			return -1
+		}
+		return 0
+	})
+}

@@ -13,6 +13,7 @@ package pmrt
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"hawkset/internal/obs"
 	"hawkset/internal/pmem"
@@ -62,6 +63,17 @@ type Config struct {
 	// the journal to materialize the crash image at any point of the
 	// execution without re-running the application.
 	RecordOps bool
+	// ElideSites suppresses the device effect, trace event and journal entry
+	// of flush/fence operations issued from the listed call sites — the
+	// mechanism pmopt's -apply mode uses to execute a redundancy elimination
+	// without editing application source. Keys are module-relative
+	// "file.go:line" strings (sites.ModuleRel form); a Persist call site
+	// elides its per-line flushes and its fence together. Elision is
+	// yield-preserving: every would-be operation still performs its
+	// scheduling yield (and BeforeOp callback), so the interleaving — and
+	// with it every non-elided trace event — is identical to the un-elided
+	// run. Only the elided flush/fence events disappear.
+	ElideSites map[string]bool
 	// Metrics, when non-nil, receives side-band event/journal counters from
 	// the runtime and device counters from the pool. Execution, traces and
 	// journals are unaffected: metrics never feed back.
@@ -79,6 +91,12 @@ type Runtime struct {
 	// execution order (the cooperative scheduler serializes all device
 	// accesses, so journal order is device order).
 	Ops []pmem.Op
+	// OpSites records the call site of each journal entry, aligned 1:1 with
+	// Ops. pmem.Op itself carries no site — it is the device-replay
+	// interface — but pmopt's dynamic analysis needs to attribute every
+	// journaled flush/fence to the source line that issued it. Untraced ops
+	// (Zero) record site 0.
+	OpSites []sites.ID
 
 	nextLock uint64
 
@@ -100,6 +118,16 @@ type Runtime struct {
 	mEvents       *obs.Counter
 	mJournalOps   *obs.Counter
 	mJournalBytes *obs.Counter
+	// Per-op-kind journal counters: the before/after metric pmopt's apply
+	// gate compares (an elimination must strictly reduce flush+fence).
+	mDevFlush   *obs.Counter
+	mDevFence   *obs.Counter
+	mDevNTStore *obs.Counter
+	mElided     *obs.Counter
+
+	// elideCache memoizes per-site elision decisions (the cooperative
+	// scheduler serializes all instrumented operations, so no lock).
+	elideCache map[sites.ID]bool
 }
 
 // New creates a runtime. The first pmem.LineSize bytes of the pool are
@@ -127,6 +155,13 @@ func New(cfg Config) *Runtime {
 		mEvents:       cfg.Metrics.Counter("pmrt.events"),
 		mJournalOps:   cfg.Metrics.Counter("pmrt.journal.ops"),
 		mJournalBytes: cfg.Metrics.Counter("pmrt.journal.bytes"),
+		mDevFlush:     cfg.Metrics.Counter("device_flush"),
+		mDevFence:     cfg.Metrics.Counter("device_fence"),
+		mDevNTStore:   cfg.Metrics.Counter("device_store_nt"),
+		mElided:       cfg.Metrics.Counter("pmrt.elided"),
+	}
+	if len(cfg.ElideSites) > 0 {
+		r.elideCache = make(map[sites.ID]bool)
 	}
 	if !cfg.NoTrace {
 		r.Trace = trace.New()
@@ -211,7 +246,7 @@ func (c *Ctx) lastSeq() int {
 // journal appends a device op under Config.RecordOps. data is copied —
 // callers reuse stack buffers. Must be called AFTER the matching emit so
 // seq correlation via lastSeq is stable.
-func (c *Ctx) journal(kind pmem.OpKind, addr uint64, size uint32, data []byte, seq int) {
+func (c *Ctx) journal(kind pmem.OpKind, addr uint64, size uint32, data []byte, seq int, site sites.ID) {
 	if !c.r.cfg.RecordOps {
 		return
 	}
@@ -221,8 +256,35 @@ func (c *Ctx) journal(kind pmem.OpKind, addr uint64, size uint32, data []byte, s
 		copy(cp, data)
 	}
 	c.r.Ops = append(c.r.Ops, pmem.Op{Kind: kind, TID: c.th.ID(), Addr: addr, Size: size, Data: cp, Seq: seq})
+	c.r.OpSites = append(c.r.OpSites, site)
 	c.r.mJournalOps.Inc()
 	c.r.mJournalBytes.Add(uint64(len(cp)))
+	switch kind {
+	case pmem.OpFlush:
+		c.r.mDevFlush.Inc()
+	case pmem.OpFence:
+		c.r.mDevFence.Inc()
+	case pmem.OpNTStore:
+		c.r.mDevNTStore.Inc()
+	}
+}
+
+// elided reports whether flush/fence effects from site are suppressed under
+// Config.ElideSites, memoizing the resolved module-relative file:line key
+// per site ID.
+func (r *Runtime) elided(site sites.ID) bool {
+	if r.elideCache == nil {
+		return false
+	}
+	if v, ok := r.elideCache[site]; ok {
+		return v
+	}
+	v := false
+	if f := r.Trace.Sites.Lookup(site); f.File != "" {
+		v = r.cfg.ElideSites[fmt.Sprintf("%s:%d", sites.ModuleRel(f.File), f.Line)]
+	}
+	r.elideCache[site] = v
+	return v
 }
 
 // Store writes data to PM at addr (a cached, temporal store: visible
@@ -236,7 +298,7 @@ func (c *Ctx) storeAt(site sites.ID, addr uint64, data []byte) {
 	c.pre(trace.KStore, addr, uint32(len(data)))
 	c.r.Pool.Store(c.th.ID(), addr, data, int32(site))
 	c.emit(trace.Event{Kind: trace.KStore, TID: c.th.ID(), Addr: addr, Size: uint32(len(data)), Site: site})
-	c.journal(pmem.OpStore, addr, uint32(len(data)), data, c.lastSeq())
+	c.journal(pmem.OpStore, addr, uint32(len(data)), data, c.lastSeq(), site)
 }
 
 // Store8 writes a uint64 (little-endian).
@@ -268,7 +330,7 @@ func (c *Ctx) NTStore8(addr uint64, v uint64) {
 	c.pre(trace.KNTStore, addr, 8)
 	c.r.Pool.NTStore(c.th.ID(), addr, b[:], int32(site))
 	c.emit(trace.Event{Kind: trace.KNTStore, TID: c.th.ID(), Addr: addr, Size: 8, Site: site})
-	c.journal(pmem.OpNTStore, addr, 8, b[:], c.lastSeq())
+	c.journal(pmem.OpNTStore, addr, 8, b[:], c.lastSeq(), site)
 }
 
 // Load reads size bytes from PM at addr.
@@ -308,24 +370,33 @@ func (c *Ctx) Load1(addr uint64) byte {
 func (c *Ctx) Flush(addr uint64) {
 	site := c.here()
 	c.pre(trace.KFlush, addr, 0)
+	if c.r.elided(site) {
+		c.r.mElided.Inc()
+		return
+	}
 	c.r.Pool.Flush(c.th.ID(), addr)
 	c.emit(trace.Event{Kind: trace.KFlush, TID: c.th.ID(), Addr: pmem.LineOf(addr) * pmem.LineSize, Site: site})
-	c.journal(pmem.OpFlush, addr, 0, nil, c.lastSeq())
+	c.journal(pmem.OpFlush, addr, 0, nil, c.lastSeq(), site)
 }
 
 // Fence issues an SFENCE, completing this thread's pending flushes.
 func (c *Ctx) Fence() {
 	site := c.here()
 	c.pre(trace.KFence, 0, 0)
+	if c.r.elided(site) {
+		c.r.mElided.Inc()
+		return
+	}
 	c.r.Pool.Fence(c.th.ID())
 	c.emit(trace.Event{Kind: trace.KFence, TID: c.th.ID(), Site: site})
-	c.journal(pmem.OpFence, 0, 0, nil, c.lastSeq())
+	c.journal(pmem.OpFence, 0, 0, nil, c.lastSeq(), site)
 }
 
 // Persist flushes every line of [addr, addr+size) and fences: the idiomatic
 // flush-and-fence sequence PM libraries expose (e.g. pmem_persist).
 func (c *Ctx) Persist(addr uint64, size uint64) {
 	site := c.here()
+	el := c.r.elided(site)
 	if size > 0 {
 		// Subtraction-form bound: addr+size-1 wraps for ranges ending at
 		// the top of the address space, silently skipping every flush.
@@ -333,15 +404,23 @@ func (c *Ctx) Persist(addr uint64, size uint64) {
 		last := pmem.LineOf(pmem.LastByte(addr, size))
 		for l := first; l <= last; l++ {
 			c.pre(trace.KFlush, l*pmem.LineSize, 0)
+			if el {
+				c.r.mElided.Inc()
+				continue
+			}
 			c.r.Pool.Flush(c.th.ID(), l*pmem.LineSize)
 			c.emit(trace.Event{Kind: trace.KFlush, TID: c.th.ID(), Addr: l * pmem.LineSize, Site: site})
-			c.journal(pmem.OpFlush, l*pmem.LineSize, 0, nil, c.lastSeq())
+			c.journal(pmem.OpFlush, l*pmem.LineSize, 0, nil, c.lastSeq(), site)
 		}
 	}
 	c.pre(trace.KFence, 0, 0)
+	if el {
+		c.r.mElided.Inc()
+		return
+	}
 	c.r.Pool.Fence(c.th.ID())
 	c.emit(trace.Event{Kind: trace.KFence, TID: c.th.ID(), Site: site})
-	c.journal(pmem.OpFence, 0, 0, nil, c.lastSeq())
+	c.journal(pmem.OpFence, 0, 0, nil, c.lastSeq(), site)
 }
 
 // CAS8 performs an atomic compare-and-swap of the uint64 at addr. It is a
@@ -360,7 +439,7 @@ func (c *Ctx) CAS8(addr uint64, old, new uint64) bool {
 	c.emit(trace.Event{Kind: trace.KStore, TID: c.th.ID(), Addr: addr, Size: 8, Site: site})
 	var nb [8]byte
 	binary.LittleEndian.PutUint64(nb[:], new)
-	c.journal(pmem.OpStore, addr, 8, nb[:], c.lastSeq())
+	c.journal(pmem.OpStore, addr, 8, nb[:], c.lastSeq(), site)
 	return true
 }
 
@@ -411,6 +490,7 @@ func (c *Ctx) Zero(addr uint64, size uint64) {
 		// nil Data + Size encodes "Size zero bytes"; Seq -1 marks the op as
 		// untraced.
 		c.r.Ops = append(c.r.Ops, pmem.Op{Kind: pmem.OpStore, TID: c.th.ID(), Addr: addr, Size: uint32(size), Seq: -1})
+		c.r.OpSites = append(c.r.OpSites, 0)
 		c.r.mJournalOps.Inc()
 	}
 }

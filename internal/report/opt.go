@@ -1,0 +1,136 @@
+package report
+
+// OptDocument is pmopt's output: redundancy candidates among an
+// application's flush/fence sites, each carrying the static verdict, the
+// dynamic occurrence evidence and the joined confidence tier. Like Document
+// it is fully deterministic — no wall-clock value, candidates sorted — so
+// two pmopt runs over the same (app, seed, ops) diff empty and CI compares
+// byte-for-byte.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Confidence tiers of an OptCandidate, strongest first.
+const (
+	TierStaticDynamic = "static+dynamic" // static claim confirmed by every dynamic occurrence
+	TierDynamicOnly   = "dynamic-only"   // every occurrence redundant, but no static proof
+	TierStaticOnly    = "static-only"    // static claim with no (or contradicting) dynamic evidence
+)
+
+// OptCandidate is one flush/fence site reported as redundant.
+type OptCandidate struct {
+	Site string `json:"site"`           // module-relative file.go:line
+	Func string `json:"func,omitempty"` // enclosing function (static view)
+	// Op is what the site issues: "flush", "fence" or "persist"
+	// (flush+fence).
+	Op string `json:"op"`
+	// Kind classifies the redundancy: "duplicate-flush", "empty-fence",
+	// "flush-after-nt-store" or "clean-line-flush".
+	Kind string `json:"kind"`
+	Tier string `json:"tier"`
+	// StaticClaim is set when the CFG analysis proves the redundancy on all
+	// paths (at line granularity: same normalized base, no intervening
+	// store).
+	StaticClaim bool `json:"static_claim"`
+	// Occurrences counts journaled device ops issued from the site;
+	// Redundant counts those that were provably no-ops at commit time.
+	Occurrences int `json:"occurrences"`
+	Redundant   int `json:"redundant"`
+	// Eliminable marks sites whose every dynamic occurrence was a no-op —
+	// the set -apply is allowed to elide (still behind the crash gate).
+	Eliminable bool `json:"eliminable"`
+	// Refuted marks a static claim contradicted by at least one effective
+	// dynamic occurrence — the line-granular static view was too coarse.
+	Refuted bool   `json:"refuted,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// OptStats summarizes the analyzed journal.
+type OptStats struct {
+	JournalOps        int `json:"journal_ops"`
+	Flushes           int `json:"flushes"`
+	Fences            int `json:"fences"`
+	NTStores          int `json:"nt_stores"`
+	ChangelessFlushes int `json:"changeless_flushes"`
+	EmptyFences       int `json:"empty_fences"`
+	FlushSites        int `json:"flush_sites"`
+	FenceSites        int `json:"fence_sites"`
+}
+
+// OptDocument is the top-level pmopt report.
+type OptDocument struct {
+	Tool        string         `json:"tool"`
+	Application string         `json:"application,omitempty"`
+	Workload    string         `json:"workload,omitempty"`
+	Candidates  []OptCandidate `json:"candidates"`
+	Stats       OptStats       `json:"stats"`
+}
+
+// tierRank orders tiers strongest-first for sorting.
+func tierRank(t string) int {
+	switch t {
+	case TierStaticDynamic:
+		return 0
+	case TierDynamicOnly:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// SortCandidates establishes the document order: tier strength, then site.
+// The sort is stable so that a sorted document re-sorts to itself even with
+// duplicate (tier, site, kind) keys — WriteJSON output is a fixed point.
+func SortCandidates(cs []OptCandidate) {
+	sort.SliceStable(cs, func(i, j int) bool {
+		a, b := cs[i], cs[j]
+		if ra, rb := tierRank(a.Tier), tierRank(b.Tier); ra != rb {
+			return ra < rb
+		}
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		return a.Kind < b.Kind
+	})
+}
+
+// WriteJSON emits the document as indented JSON.
+func (d *OptDocument) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteText emits the human-readable listing.
+func (d *OptDocument) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%d redundancy candidate(s)", len(d.Candidates)); err != nil {
+		return err
+	}
+	if d.Application != "" {
+		fmt.Fprintf(w, " in %s", d.Application) //nolint:errcheck // best-effort text output
+	}
+	fmt.Fprintf(w, " (%d flushes, %d fences journaled; %d changeless, %d empty)\n",
+		d.Stats.Flushes, d.Stats.Fences, d.Stats.ChangelessFlushes, d.Stats.EmptyFences) //nolint:errcheck
+	for i, c := range d.Candidates {
+		marks := ""
+		if c.Eliminable {
+			marks += " eliminable"
+		}
+		if c.Refuted {
+			marks += " REFUTED"
+		}
+		detail := ""
+		if c.Detail != "" {
+			detail = " — " + c.Detail
+		}
+		if _, err := fmt.Fprintf(w, "%3d. [%s] %s %s (%s, %d/%d redundant)%s%s\n",
+			i+1, c.Tier, c.Op, c.Site, c.Kind, c.Redundant, c.Occurrences, marks, detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+)
+
+// FuzzOptDocument checks that pmopt's report document is a JSON fixed
+// point: any OptDocument that decodes — including hostile or truncated
+// field sets — must survive sort → encode → decode → sort → encode with
+// byte-identical output, and both writers must be panic-free. CI relies on
+// this (it diffs two pmopt runs byte-for-byte), so canonicalization bugs
+// would surface as spurious nondeterminism failures.
+func FuzzOptDocument(f *testing.F) {
+	seed := &OptDocument{
+		Tool:        "pmopt",
+		Application: "P-ART",
+		Workload:    "400 ops, seed 1, fixed",
+		Candidates: []OptCandidate{
+			{Site: "internal/apps/part/part.go:316", Func: "(*Tree).addChild", Op: "persist",
+				Kind: "duplicate-flush", Tier: TierStaticDynamic, StaticClaim: true,
+				Occurrences: 1216, Redundant: 1216, Eliminable: true, Detail: "608/608 flushes changeless"},
+			{Site: "internal/apps/part/part.go:315", Op: "persist", Kind: "duplicate-flush",
+				Tier: TierStaticOnly, StaticClaim: true, Occurrences: 1216, Redundant: 958, Refuted: true},
+			{Site: "internal/apps/pmasstree/pmasstree.go:141", Op: "persist",
+				Kind: "clean-line-flush", Tier: TierDynamicOnly, Occurrences: 294, Redundant: 294, Eliminable: true},
+		},
+		Stats: OptStats{JournalOps: 40000, Flushes: 14481, Fences: 14313, ChangelessFlushes: 6503, FlushSites: 12, FenceSites: 12},
+	}
+	SortCandidates(seed.Candidates)
+	var buf bytes.Buffer
+	if err := seed.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"candidates":null,"stats":{}}`))
+	f.Add([]byte(`{"tool":"pmopt","candidates":[{"site":"a.go:1","tier":"bogus-tier"},{"site":"a.go:1","tier":"bogus-tier","op":"x"}]}`))
+	f.Add([]byte(`{"candidates":[{"occurrences":-1,"redundant":99}]}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d OptDocument
+		if err := json.Unmarshal(data, &d); err != nil {
+			return // rejected input: nothing promised
+		}
+		SortCandidates(d.Candidates)
+		if err := d.WriteText(io.Discard); err != nil {
+			t.Fatalf("WriteText on accepted document: %v", err)
+		}
+		var one bytes.Buffer
+		if err := d.WriteJSON(&one); err != nil {
+			t.Fatalf("WriteJSON on accepted document: %v", err)
+		}
+		var d2 OptDocument
+		if err := json.Unmarshal(one.Bytes(), &d2); err != nil {
+			t.Fatalf("re-decoding own output: %v", err)
+		}
+		SortCandidates(d2.Candidates)
+		var two bytes.Buffer
+		if err := d2.WriteJSON(&two); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(one.Bytes(), two.Bytes()) {
+			t.Fatalf("document is not a fixed point:\nfirst:  %s\nsecond: %s", one.Bytes(), two.Bytes())
+		}
+	})
+}

@@ -40,6 +40,18 @@ func (f Frame) String() string {
 	return fmt.Sprintf("%s:%d", file, f.Line)
 }
 
+// ModuleRel trims an absolute source path to its module-relative,
+// slash-separated form starting at "internal/" — the spelling the static
+// tools (pmlint/pmopt, whose loader reports module-relative paths) use, so
+// static findings and dynamic frames join on a common "file:line" key.
+// Paths without an internal/ component are returned unchanged.
+func ModuleRel(file string) string {
+	if i := strings.LastIndex(file, "/internal/"); i >= 0 {
+		return file[i+1:]
+	}
+	return file
+}
+
 // Table interns call sites. The zero value is not usable; use NewTable.
 // Table is safe for concurrent use (the simulated program is cooperatively
 // scheduled, but analyses may resolve frames from other goroutines).
