@@ -20,10 +20,13 @@
 #   pmlint      static PM-misuse checks over the pmrt API; the committed
 #               baseline records the intentional findings (the apps embed
 #               the paper's Table 2 bugs), so only NEW findings fail
-#   pmcheck     bounded crash-point fault-injection smoke on two apps:
-#               the seeded (buggy) build must fail crash points (pmcheck
-#               exits with the failing-app count), the fixed build must
-#               sweep clean
+#   pmcheck     bounded crash-point fault-injection smoke: the seeded
+#               (buggy) builds must fail crash points (pmcheck exits with
+#               the failing-app count), the fixed builds must sweep clean.
+#               Covers Fast-Fair and P-Masstree plus the MadFS-POSIX
+#               filesystem scenario, whose syscall-level oracles (rename
+#               atomicity, torn appends, orphaned inodes) gate both seeded
+#               protocol bugs under -budget/-deadline bounds
 #   pmcheckd    bounded daemon smoke: start the ingestion daemon on a unix
 #               socket, stream one instrumented app trace through the
 #               network client with -verify (the daemon's report must be
@@ -51,6 +54,15 @@ if go run ./cmd/pmcheck -app Fast-Fair -ops 800 -inject -budget 8 -deadline 60s;
 fi
 go run ./cmd/pmcheck -app Fast-Fair -ops 800 -fixed -inject -budget 8 -deadline 60s
 go run ./cmd/pmcheck -app P-Masstree -ops 800 -fixed -inject -strategy fence -budget 8 -deadline 60s
+
+# Filesystem crash-sweep smoke: both seeded FS protocol bugs must surface
+# under the bounded targeted campaign; the journaled/ordered fixed variant
+# must sweep clean.
+if go run ./cmd/pmcheck -app MadFS-POSIX -ops 600 -inject -budget 8 -deadline 60s; then
+    echo "ci: buggy MadFS-POSIX crash campaign unexpectedly clean" >&2
+    exit 1
+fi
+go run ./cmd/pmcheck -app MadFS-POSIX -ops 600 -fixed -inject -budget 8 -deadline 60s
 
 # pmopt smoke: deterministic JSON on two apps, then one gated elimination.
 PMOPT_TMP=$(mktemp -d)

@@ -69,6 +69,10 @@ type BugSpec struct {
 	// and persist sit inside the mutex, but the lock-free search can still
 	// observe the window (§5.1); the fix is on the reader side.
 	AllowPersisted bool
+	// Extension marks bugs seeded beyond the paper's Table 2 (the
+	// filesystem scenarios); experiments reproducing the paper's tables
+	// skip them so the 20-bug accounting stays faithful.
+	Extension bool
 	// Description matches Table 2's description column.
 	Description string
 }

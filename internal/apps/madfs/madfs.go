@@ -31,6 +31,44 @@ const (
 	capLog    = 1 << 16
 )
 
+// freeList recycles superseded copy-on-write blocks, deduplicating on
+// enqueue: a double-enqueued block would later be handed to two writers at
+// once — aliasing one physical block under two virtual blocks. Dedup guards
+// the list itself; callers must still only push blocks they actually
+// displaced (see FS.shadow), since a block that was recycled, popped and
+// republished is absent from the queue yet live. The volatile list lives
+// under the cooperative scheduler, so no extra locking is needed.
+type freeList struct {
+	blocks []uint64
+	queued map[uint64]bool
+}
+
+// push enqueues a block for reuse unless it is zero or already queued;
+// it reports whether the block was actually enqueued.
+func (l *freeList) push(addr uint64) bool {
+	if addr == 0 || l.queued[addr] {
+		return false
+	}
+	if l.queued == nil {
+		l.queued = make(map[uint64]bool)
+	}
+	l.queued[addr] = true
+	l.blocks = append(l.blocks, addr)
+	return true
+}
+
+// pop dequeues the most recently recycled block, if any.
+func (l *freeList) pop() (uint64, bool) {
+	n := len(l.blocks)
+	if n == 0 {
+		return 0, false
+	}
+	a := l.blocks[n-1]
+	l.blocks = l.blocks[:n-1]
+	delete(l.queued, a)
+	return a, true
+}
+
 // FS is a single-file MadFS instance (the benchmark uses one shared file).
 type FS struct {
 	rt         *pmrt.Runtime
@@ -38,11 +76,17 @@ type FS struct {
 	logHead    uint64
 	logBase    uint64
 	fixed      bool
-	// freeBlocks recycles superseded copy-on-write blocks. Racing writers to
-	// the same virtual block can enqueue one block twice; MadFS tolerates
-	// that the same way it tolerates its other relaxed-contract races, and
-	// it only affects scratch data contents, never metadata.
-	freeBlocks []uint64
+	// free recycles superseded copy-on-write blocks, deduplicated on
+	// enqueue (see freeList).
+	free freeList
+	// shadow mirrors the block table in volatile memory. publishBlock
+	// updates it in the same scheduler step as the table store, so it
+	// answers "which block did this publish displace" exactly — the PM load
+	// of the old mapping is a separate scheduler step, and under racing
+	// writers its value can be stale by publish time. Recycling a stale
+	// value frees a block that a concurrent writer already recycled and
+	// republished, aliasing one physical block under two virtual blocks.
+	shadow map[uint64]uint64
 }
 
 // New creates a MadFS instance. There are no seeded defects; fixed selects
@@ -84,9 +128,8 @@ func (f *FS) Write(c *pmrt.Ctx, off, length, val uint64) {
 	// writes one word per 512-byte sector (the data content is irrelevant to
 	// the races; flushing only the touched lines keeps traces compact).
 	var pblock uint64
-	if n := len(f.freeBlocks); n > 0 {
-		pblock = f.freeBlocks[n-1]
-		f.freeBlocks = f.freeBlocks[:n-1]
+	if a, ok := f.free.pop(); ok {
+		pblock = a
 	} else {
 		pblock = c.Alloc(blockSize)
 	}
@@ -105,24 +148,33 @@ func (f *FS) Write(c *pmrt.Ctx, off, length, val uint64) {
 	c.Persist(f.logHead, 8)
 
 	// Volatile block-table update: visible to concurrent reads, durable only
-	// after Fsync replays the log. The superseded block returns to the heap
-	// (MadFS garbage-collects overwritten blocks), so the device footprint
-	// stays bounded by the file size.
-	old := c.Load8(f.blockTable + vblock*8)
-	f.publishBlock(c, vblock, pblock)
-	if old != 0 {
-		f.freeBlocks = append(f.freeBlocks, old)
-	}
+	// after Fsync replays the log. The superseded block returns to the free
+	// pool (MadFS garbage-collects overwritten blocks), so the device
+	// footprint stays bounded by the file size. The table load is MadFS's
+	// read of the mapping being superseded (and a load side of the benign
+	// write-vs-write reports); recycling keys off the shadow table instead,
+	// because under racing publishes the loaded value can be stale.
+	c.Load8(f.blockTable + vblock*8)
+	f.free.push(f.publishBlock(c, vblock, pblock))
 }
 
 // publishBlock installs the new physical block in the block table without
 // persisting it — within MadFS's fsync contract, and the store side of the
-// benign reports.
-func (f *FS) publishBlock(c *pmrt.Ctx, vblock, pblock uint64) {
+// benign reports. It returns the physical block the store displaced, taken
+// from the volatile shadow in the same scheduler step as the store (no
+// device op separates them), so the answer is exact even under racing
+// publishes to the same virtual block.
+func (f *FS) publishBlock(c *pmrt.Ctx, vblock, pblock uint64) (old uint64) {
 	c.Store8(f.blockTable+vblock*8, pblock)
+	if f.shadow == nil {
+		f.shadow = make(map[uint64]uint64)
+	}
+	old = f.shadow[vblock]
+	f.shadow[vblock] = pblock
 	if f.fixed {
 		c.Persist(f.blockTable+vblock*8, 8)
 	}
+	return old
 }
 
 // Read resolves the block mapping lock-free and reads the data.

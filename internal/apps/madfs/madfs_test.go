@@ -42,7 +42,7 @@ func TestOverwriteRecyclesBlocks(t *testing.T) {
 		if got := fs.Read(c, 0, 8); got != 99 {
 			t.Fatalf("Read = %d, want 99", got)
 		}
-		if len(fs.freeBlocks) == 0 {
+		if len(fs.free.blocks) == 0 {
 			t.Fatal("overwrites recycled no blocks")
 		}
 	})
@@ -93,6 +93,65 @@ func TestLogAppendIsCommitPoint(t *testing.T) {
 	}
 	if rt.Pool.ReadPersistent8(fs.logHead) != 1 {
 		t.Fatalf("log head = %d, want 1", rt.Pool.ReadPersistent8(fs.logHead))
+	}
+}
+
+// TestRacingWritersNoDoubleRecycle is the regression test for free-pool
+// corruption under racing writers to the same virtual block. Two hazards:
+// (a) both writers load the same superseded physical block and enqueue it
+// twice (fixed by dedup in freeList.push); (b) a writer's loaded "old"
+// mapping goes stale before its publish — the block was already recycled,
+// popped and republished elsewhere — and pushing it frees a live block
+// (fixed by recycling publishBlock's shadow-table answer instead of the
+// loaded value). Either way a physical block ends up handed to two virtual
+// blocks at once. The invariants checked: no duplicate free-list entries, no
+// physical block live under two virtual blocks, no block both live and free.
+func TestRacingWritersNoDoubleRecycle(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rt := pmrt.New(pmrt.Config{Seed: seed, PoolSize: 64 << 20})
+		fs := New(rt, false).(*FS)
+		err := rt.Run(func(c *pmrt.Ctx) {
+			fs.Setup(c)
+			var ths []*pmrt.Thread
+			for i := 0; i < 2; i++ {
+				ths = append(ths, c.Spawn(func(wc *pmrt.Ctx) {
+					for j := 0; j < 16; j++ {
+						// Both writers hammer vblock 0, then churn a second
+						// block so duplicated free entries get popped and
+						// republished.
+						fs.Write(wc, 0, 4096, uint64(j))
+						fs.Write(wc, blockSize, 4096, uint64(j))
+					}
+				}))
+			}
+			for _, th := range ths {
+				c.Join(th)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued := map[uint64]bool{}
+		for _, b := range fs.free.blocks {
+			if queued[b] {
+				t.Fatalf("seed %d: block %#x on the free list twice", seed, b)
+			}
+			queued[b] = true
+		}
+		live := map[uint64]uint64{}
+		for v := uint64(0); v < nBlocks; v++ {
+			p := rt.Pool.Load8(fs.blockTable + v*8)
+			if p == 0 {
+				continue
+			}
+			if o, dup := live[p]; dup {
+				t.Fatalf("seed %d: physical block %#x live under vblocks %d and %d", seed, p, o, v)
+			}
+			live[p] = v
+			if queued[p] {
+				t.Fatalf("seed %d: live physical block %#x is also on the free list", seed, p)
+			}
+		}
 	}
 }
 

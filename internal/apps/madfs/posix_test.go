@@ -1,0 +1,301 @@
+package madfs
+
+import (
+	"strings"
+	"testing"
+
+	"hawkset/internal/pmem"
+	"hawkset/internal/pmrt"
+)
+
+// runPFS executes body on a fresh MadFS-POSIX instance and returns the
+// runtime and filesystem for post-run inspection.
+func runPFS(t *testing.T, fixed bool, body func(c *pmrt.Ctx, fs *PFS)) (*pmrt.Runtime, *PFS) {
+	t.Helper()
+	rt := pmrt.New(pmrt.Config{Seed: 1, PoolSize: 64 << 20})
+	fs := NewPosix(rt, fixed).(*PFS)
+	if err := rt.Run(func(c *pmrt.Ctx) {
+		fs.Setup(c)
+		body(c, fs)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return rt, fs
+}
+
+// recover reboots the pool (dropping the volatile domain, as a crash would)
+// and mounts it on a fresh recovery runtime, the way the crash-injection
+// harness does.
+func recoverPFS(t *testing.T, rt *pmrt.Runtime, fs *PFS, fixed bool) (*PFS, error) {
+	t.Helper()
+	rt.Pool.Reboot()
+	rrt := pmrt.NewWithPool(pmrt.Config{Seed: 1, PoolSize: pmem.LineSize, NoTrace: true}, rt.Pool, nil)
+	rfs := AttachPosix(rrt, fs.Super(), fixed)
+	var rerr error
+	if err := rrt.Run(func(c *pmrt.Ctx) { rerr = rfs.Recover(c) }); err != nil {
+		t.Fatal(err)
+	}
+	return rfs, rerr
+}
+
+func hasViolation(v []string, substr string) bool {
+	for _, s := range v {
+		if strings.Contains(s, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPosixCreateAppendRead(t *testing.T) {
+	runPFS(t, true, func(c *pmrt.Ctx, fs *PFS) {
+		fs.Create(c, 3)
+		fs.Append(c, 3, 3)
+		want := tag(1, 0) + tag(1, 1) + tag(1, 2) // first create takes generation 1
+		if got := fs.ReadFile(c, 3); got != want {
+			t.Fatalf("ReadFile = %#x, want %#x", got, want)
+		}
+		if got := fs.ReadFile(c, 5); got != 0 {
+			t.Fatalf("ReadFile of missing name = %#x, want 0", got)
+		}
+		// Appends past the maximum file size are rejected whole.
+		fs.Append(c, 3, maxFile/8)
+		if got := fs.ReadFile(c, 3); got != want {
+			t.Fatalf("over-long append changed the file: ReadFile = %#x, want %#x", got, want)
+		}
+	})
+}
+
+// TestPosixAppendSpansBlocks: an append crossing a block boundary commits
+// both copy-on-write blocks and the tail read sees both sides.
+func TestPosixAppendSpansBlocks(t *testing.T) {
+	runPFS(t, true, func(c *pmrt.Ctx, fs *PFS) {
+		fs.Create(c, 3)
+		fs.Append(c, 3, pfsWords+2)
+		// ReadFile sums the last four words: two in block 0, two in block 1.
+		want := tag(1, pfsWords-2) + tag(1, pfsWords-1) + tag(1, pfsWords) + tag(1, pfsWords+1)
+		if got := fs.ReadFile(c, 3); got != want {
+			t.Fatalf("ReadFile = %#x, want %#x", got, want)
+		}
+	})
+}
+
+func TestPosixRenameSemantics(t *testing.T) {
+	runPFS(t, true, func(c *pmrt.Ctx, fs *PFS) {
+		fs.Create(c, 3)
+		fs.Append(c, 3, 1)
+		want := tag(1, 0)
+
+		fs.Rename(c, 3, 5) // cross-slot
+		if got := fs.ReadFile(c, 5); got != want {
+			t.Fatalf("after rename, ReadFile(dst) = %#x, want %#x", got, want)
+		}
+		if got := fs.ReadFile(c, 3); got != 0 {
+			t.Fatalf("after rename, ReadFile(src) = %#x, want 0", got)
+		}
+
+		fs.Rename(c, 5, 5+nDentries) // same-slot: a single name swap
+		if got := fs.ReadFile(c, 5+nDentries); got != want {
+			t.Fatalf("after same-slot rename, ReadFile = %#x, want %#x", got, want)
+		}
+
+		fs.Create(c, 7)
+		fs.Rename(c, 5+nDentries, 7) // destination occupied: no-op
+		if got := fs.ReadFile(c, 5+nDentries); got != want {
+			t.Fatalf("rename onto occupied slot moved the file: ReadFile = %#x, want %#x", got, want)
+		}
+
+		fs.Rename(c, 9, 11) // missing source: no-op
+		if got := fs.ReadFile(c, 11); got != 0 {
+			t.Fatalf("rename of missing name created %#x", got)
+		}
+	})
+}
+
+// TestPosixUnlinkRecycles: unlink returns the inode and the data blocks to
+// their free pools, and a recycled block handed to a new file carries the
+// new generation's tags, not the old file's.
+func TestPosixUnlinkRecycles(t *testing.T) {
+	runPFS(t, true, func(c *pmrt.Ctx, fs *PFS) {
+		fs.Create(c, 3)
+		fs.Append(c, 3, pfsWords)
+		fs.Unlink(c, 3)
+		if got := fs.ReadFile(c, 3); got != 0 {
+			t.Fatalf("unlinked file still readable: %#x", got)
+		}
+		if len(fs.free.blocks) == 0 {
+			t.Fatal("unlink recycled no data blocks")
+		}
+		if len(fs.freeIno) != nInodes {
+			t.Fatalf("free inodes = %d, want %d", len(fs.freeIno), nInodes)
+		}
+		fs.Create(c, 5)
+		fs.Append(c, 5, 1)
+		// Generation 2: a recycled block serving the new file must not leak
+		// generation-1 content.
+		if got, want := fs.ReadFile(c, 5), tag(2, 0); got != want {
+			t.Fatalf("recycled block content = %#x, want %#x", got, want)
+		}
+	})
+}
+
+// TestPosixFsyncPersistsMapping: the block mapping is volatile until Fsync
+// replays the committed log — the inherited MadFS durability contract.
+func TestPosixFsyncPersistsMapping(t *testing.T) {
+	rt, fs := runPFS(t, true, func(c *pmrt.Ctx, fs *PFS) {
+		fs.Create(c, 3)
+		fs.Append(c, 3, 1)
+		if got := fs.rt.Pool.ReadPersistent8(fs.tabAddr(0, 0)); got != 0 {
+			t.Fatalf("mapping persisted before fsync: %#x", got)
+		}
+		if err := fs.Fsync(c); err != nil {
+			t.Fatal(err)
+		}
+	})
+	p := rt.Pool.ReadPersistent8(fs.tabAddr(0, 0))
+	if p == 0 {
+		t.Fatal("fsync did not persist the block mapping")
+	}
+	if v := rt.Pool.Load8(fs.tabAddr(0, 0)); v != p {
+		t.Fatalf("persisted mapping %#x disagrees with volatile %#x", p, v)
+	}
+}
+
+// TestPosixQuiescentValidation: the fixed variant's image is clean under the
+// full oracle set at quiescence; the buggy variant's unpersisted rename
+// publication shows up as dentry divergence.
+func TestPosixQuiescentValidation(t *testing.T) {
+	ops := func(c *pmrt.Ctx, fs *PFS) {
+		fs.Create(c, 3)
+		fs.Append(c, 3, pfsWords+2)
+		fs.Create(c, 7)
+		fs.Rename(c, 3, 5)
+		fs.WriteAt(c, 5, 0, 16)
+		fs.Unlink(c, 7)
+	}
+	rt, fs := runPFS(t, true, ops)
+	if v := fs.ValidateCrash(rt.Pool); len(v) != 0 {
+		t.Fatalf("fixed image not clean at quiescence:\n%s", strings.Join(v, "\n"))
+	}
+	rt, fs = runPFS(t, false, ops)
+	if v := fs.ValidateCrash(rt.Pool); !hasViolation(v, "diverges") {
+		t.Fatalf("buggy rename left no divergence at quiescence:\n%s", strings.Join(v, "\n"))
+	}
+}
+
+// TestPosixOracleLostRename: oracle (a)/(c) — the buggy rename's unpersisted
+// destination name orphans the inode in the persistent image even in a
+// single-threaded, race-free execution; the fixed protocol leaves every
+// crash point clean.
+func TestPosixOracleLostRename(t *testing.T) {
+	rt, fs := runPFS(t, false, func(c *pmrt.Ctx, fs *PFS) {
+		fs.Create(c, 3)
+		fs.Rename(c, 3, 5)
+	})
+	if v := fs.ValidateCrashPoint(rt.Pool); !hasViolation(v, "reachable from nowhere") {
+		t.Fatalf("buggy rename not flagged as orphan:\n%s", strings.Join(v, "\n"))
+	}
+	rt, fs = runPFS(t, true, func(c *pmrt.Ctx, fs *PFS) {
+		fs.Create(c, 3)
+		fs.Rename(c, 3, 5)
+	})
+	if v := fs.ValidateCrashPoint(rt.Pool); len(v) != 0 {
+		t.Fatalf("fixed rename image not clean:\n%s", strings.Join(v, "\n"))
+	}
+}
+
+// TestPosixOracleTornAppend: oracle (b) — the buggy append persists the size
+// over never-flushed data; the persisted tail fails the tag check.
+func TestPosixOracleTornAppend(t *testing.T) {
+	rt, fs := runPFS(t, false, func(c *pmrt.Ctx, fs *PFS) {
+		fs.Create(c, 3)
+		fs.Append(c, 3, 2)
+	})
+	if v := fs.ValidateCrashPoint(rt.Pool); !hasViolation(v, "torn append") {
+		t.Fatalf("buggy append not flagged as torn:\n%s", strings.Join(v, "\n"))
+	}
+	rt, fs = runPFS(t, true, func(c *pmrt.Ctx, fs *PFS) {
+		fs.Create(c, 3)
+		fs.Append(c, 3, 2)
+	})
+	if v := fs.ValidateCrashPoint(rt.Pool); len(v) != 0 {
+		t.Fatalf("fixed append image not clean:\n%s", strings.Join(v, "\n"))
+	}
+}
+
+// TestPosixRecoveryRoundTrip: mount-time recovery of a crashed (rebooted)
+// fixed image succeeds and leaves a clean tree; the buggy image is rejected
+// with the orphan diagnosis.
+func TestPosixRecoveryRoundTrip(t *testing.T) {
+	ops := func(c *pmrt.Ctx, fs *PFS) {
+		fs.Create(c, 3)
+		fs.Append(c, 3, pfsWords+1)
+		fs.Create(c, 7)
+		fs.Rename(c, 3, 5)
+		fs.Unlink(c, 7)
+	}
+	rt, fs := runPFS(t, true, ops)
+	rfs, err := recoverPFS(t, rt, fs, true)
+	if err != nil {
+		t.Fatalf("recovery of fixed image failed: %v", err)
+	}
+	if v := rfs.ValidateCrashPoint(rt.Pool); len(v) != 0 {
+		t.Fatalf("recovered image not clean:\n%s", strings.Join(v, "\n"))
+	}
+
+	rt, fs = runPFS(t, false, ops)
+	_, err = recoverPFS(t, rt, fs, false)
+	if err == nil || !strings.Contains(err.Error(), "reachable from nowhere") {
+		t.Fatalf("recovery of buggy image: err = %v, want orphan diagnosis", err)
+	}
+}
+
+// TestPosixJournalRedo: a crash between the journal's COMMIT record and the
+// rename's application is rolled forward at mount — the destination name
+// resolves, the source is cleared, and the content survives.
+func TestPosixJournalRedo(t *testing.T) {
+	rt, fs := runPFS(t, true, func(c *pmrt.Ctx, fs *PFS) {
+		fs.Create(c, 3)
+		fs.Append(c, 3, 1)
+		// Hand-write the journal exactly as Rename does, then "crash" before
+		// applying: the committed intent must be redone by recovery.
+		c.Store8(fs.jrn+jOffIno, 1)
+		c.Store8(fs.jrn+jOffSrc, fs.slotAddr(3))
+		c.Store8(fs.jrn+jOffDst, fs.slotAddr(5))
+		c.Store8(fs.jrn+jOffName, 5)
+		c.Persist(fs.jrn, 32)
+		c.Store8(fs.jrn+jOffState, jCommit)
+		c.Persist(fs.jrn+jOffState, 8)
+	})
+	rfs, err := recoverPFS(t, rt, fs, true)
+	if err != nil {
+		t.Fatalf("recovery with committed journal failed: %v", err)
+	}
+	if got := rt.Pool.Load8(rfs.slotAddr(5)); got != 5 {
+		t.Fatalf("journal redo did not publish the destination name: %#x", got)
+	}
+	if got := rt.Pool.Load8(rfs.slotAddr(3)); got != 0 {
+		t.Fatalf("journal redo did not clear the source name: %#x", got)
+	}
+	if got := rt.Pool.ReadPersistent8(rfs.jrn + jOffState); got != jIdle {
+		t.Fatalf("journal state after redo = %d, want idle", got)
+	}
+	if v := rfs.ValidateCrashPoint(rt.Pool); len(v) != 0 {
+		t.Fatalf("redone image not clean:\n%s", strings.Join(v, "\n"))
+	}
+}
+
+// TestPosixRecoveryRejectsCorruptImage: a clobbered superblock is a clean
+// error, not a wild walk.
+func TestPosixRecoveryRejectsCorruptImage(t *testing.T) {
+	rt, fs := runPFS(t, true, func(c *pmrt.Ctx, fs *PFS) {
+		fs.Create(c, 3)
+		// Clobber the persisted magic the way a torn metadata write would.
+		c.Store8(fs.super+sbMagic, 0xdead)
+		c.Persist(fs.super, 8)
+	})
+	_, err := recoverPFS(t, rt, fs, true)
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("corrupt superblock: err = %v, want magic error", err)
+	}
+}

@@ -32,13 +32,14 @@ var detectOps = map[string]int{
 	"P-Masstree":     2000,
 	"P-ART":          1000,
 	"MadFS":          1000,
+	"MadFS-POSIX":    3000,
 	"Memcached-pmem": 3000,
 	"WIPE":           3000,
 	"APEX":           2000,
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"Fast-Fair", "TurboHash", "P-CLHT", "P-Masstree", "P-ART", "MadFS", "Memcached-pmem", "WIPE", "APEX"}
+	want := []string{"Fast-Fair", "TurboHash", "P-CLHT", "P-Masstree", "P-ART", "MadFS", "MadFS-POSIX", "Memcached-pmem", "WIPE", "APEX"}
 	var got []string
 	for _, e := range apps.All() {
 		got = append(got, e.Name)
@@ -51,16 +52,32 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestRegistryBugNumbering(t *testing.T) {
-	// The union of registered bugs must be exactly the paper's Table 2: bugs
-	// #1..#20 with the right new/Durinn flags.
+	// The union of non-extension registered bugs must be exactly the paper's
+	// Table 2: bugs #1..#20 with the right new/Durinn flags. Extension bugs
+	// (the filesystem scenarios) number upward from #21.
 	seen := map[int]apps.BugSpec{}
+	ext := map[int]apps.BugSpec{}
 	for _, e := range apps.All() {
 		for _, b := range e.Bugs {
+			if b.Extension {
+				ext[b.ID] = b
+				continue
+			}
 			seen[b.ID] = b
 		}
 	}
 	if len(seen) != 20 {
-		t.Fatalf("registered %d distinct bugs, want 20", len(seen))
+		t.Fatalf("registered %d distinct Table 2 bugs, want 20", len(seen))
+	}
+	for _, id := range []int{21, 22} { // the filesystem extension bugs
+		if _, ok := ext[id]; !ok {
+			t.Errorf("extension bug #%d missing", id)
+		}
+	}
+	for id := range ext {
+		if id <= 20 {
+			t.Errorf("extension bug #%d collides with the Table 2 numbering", id)
+		}
 	}
 	for id := 1; id <= 20; id++ {
 		if _, ok := seen[id]; !ok {
@@ -255,7 +272,7 @@ func dump(res *hawkset.Result) string {
 // corruption: applications with crash validators show structural violations
 // in the buggy variant's persistent image and a clean image when fixed.
 func TestCrashValidation(t *testing.T) {
-	for _, name := range []string{"Fast-Fair", "TurboHash", "P-Masstree", "WIPE", "P-CLHT", "P-ART", "Memcached-pmem"} {
+	for _, name := range []string{"Fast-Fair", "TurboHash", "P-Masstree", "WIPE", "P-CLHT", "P-ART", "Memcached-pmem", "MadFS-POSIX"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			e, err := apps.Lookup(name)

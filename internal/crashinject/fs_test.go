@@ -1,0 +1,172 @@
+package crashinject
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"hawkset/internal/apps"
+	"hawkset/internal/apps/madfs"
+	"hawkset/internal/pmem"
+)
+
+func fsEntry(t *testing.T) *apps.Entry {
+	t.Helper()
+	e, err := apps.Lookup("MadFS-POSIX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestFSFourStrategySweep is the filesystem acceptance sweep: under every
+// injection strategy the buggy variant yields at least one failing crash
+// point (the rename and append protocol bugs corrupt reachable images) and
+// the fixed variant yields none.
+func TestFSFourStrategySweep(t *testing.T) {
+	e := fsEntry(t)
+	for _, fixed := range []bool{false, true} {
+		p, err := Prepare(e, 600, 42, fixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []Strategy{AfterFence, AfterFlush, AfterStore, Targeted} {
+			camp, err := RunCampaign(p.Target(0), Config{Strategy: s, Budget: 24, Seed: 42})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("fixed=%v strategy=%v: %d/%d failing of %d enumerated",
+				fixed, s, camp.Failed, camp.Tested, camp.Enumerated)
+			if fixed && camp.Failed != 0 {
+				t.Fatalf("fixed variant failed %d crash points under %v:\n%v",
+					camp.Failed, s, camp.Failures())
+			}
+			if !fixed && camp.Failed == 0 {
+				t.Fatalf("buggy variant survived every crash point under %v (%d tested)",
+					s, camp.Tested)
+			}
+		}
+	}
+}
+
+// TestFSDifferential: both seeded filesystem bugs produce failing crash
+// points in targeted buggy campaigns, and the fixed protocols survive the
+// full targeted sweep.
+func TestFSDifferential(t *testing.T) {
+	e := fsEntry(t)
+	d, err := Differential(e, 600, 42, Config{Budget: 24, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, problems := d.Holds(); !ok {
+		t.Fatalf("filesystem differential does not hold: %v\nbuggy: %+v\nfixed failures: %v",
+			problems, d.Buggy, d.Fixed.Failures())
+	}
+	if len(d.Buggy) != 2 {
+		t.Fatalf("differential covered %d bugs, want 2 (#21 rename, #22 append)", len(d.Buggy))
+	}
+	for _, b := range d.Buggy {
+		t.Logf("bug #%d: %d/%d failing of %d enumerated", b.ID, b.Failed, b.Tested, b.Enumerated)
+	}
+}
+
+// TestFSCampaignDeterministic: same prep, same config ⇒ identical campaign
+// results, point for point (ElapsedMS is wall-clock and excluded).
+func TestFSCampaignDeterministic(t *testing.T) {
+	e := fsEntry(t)
+	p, err := Prepare(e, 400, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Campaign {
+		c, err := RunCampaign(p.Target(0), Config{Strategy: AfterStore, Budget: 16, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.ElapsedMS = 0
+		return c
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different filesystem campaigns:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestFSTornSuperblockContained hand-crafts a torn filesystem image: a
+// persisted store aims the superblock's directory-region pointer at an
+// address whose region check overflows, so the recovery walk faults inside
+// the pool. The harness must contain the fault as a panic verdict (the
+// scheduler's app-panic sentinel), keep going, and pass the repaired point.
+func TestFSTornSuperblockContained(t *testing.T) {
+	e := fsEntry(t)
+	p, err := Prepare(e, 200, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	super := p.App.(*madfs.PFS).Super()
+	dirPtr := super + 8 // superblock word 1: the directory region base
+	good := p.Runtime.Pool.ReadPersistent8(dirPtr)
+	bogus := ^uint64(0) - 32 // base + region size wraps past the bound check
+
+	tg := p.Target(0)
+	// Only the recovery path is under test: the appended positions lie
+	// beyond the recorded spans and the validators would mask the fault.
+	tg.PointCheck, tg.QuiescentCheck = nil, nil
+	tg.Quiescent = nil
+	n := len(tg.Ops)
+	le := func(v uint64) []byte {
+		b := make([]byte, 8)
+		binary.LittleEndian.PutUint64(b, v)
+		return b
+	}
+	tg.Ops = append(tg.Ops,
+		pmem.Op{Kind: pmem.OpStore, Addr: dirPtr, Size: 8, Data: le(bogus), Seq: -1},
+		pmem.Op{Kind: pmem.OpFlush, Addr: dirPtr, Seq: -1},
+		pmem.Op{Kind: pmem.OpFence, Seq: -1},
+		pmem.Op{Kind: pmem.OpStore, Addr: dirPtr, Size: 8, Data: le(good), Seq: -1},
+		pmem.Op{Kind: pmem.OpFlush, Addr: dirPtr, Seq: -1},
+		pmem.Op{Kind: pmem.OpFence, Seq: -1},
+	)
+	tg.MinPos = n + 1
+
+	camp, err := RunCampaign(tg, Config{Strategy: AfterFence, Budget: -1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if camp.Tested != 2 {
+		t.Fatalf("tested %d points, want 2 (torn + repaired)", camp.Tested)
+	}
+	torn, repaired := camp.Points[0], camp.Points[1]
+	if torn.Inconsistent == nil || torn.Inconsistent.Panic == "" {
+		t.Fatalf("torn image: want contained panic verdict, got %+v", torn.Inconsistent)
+	}
+	if repaired.Inconsistent != nil {
+		t.Fatalf("repaired image: want consistent, got %+v", repaired.Inconsistent)
+	}
+}
+
+// TestFSRecoveryStepBound: a step budget far below what the mount walk needs
+// converts every recovery into a deterministic hung verdict — the campaign
+// itself never hangs and finishes all its points.
+func TestFSRecoveryStepBound(t *testing.T) {
+	e := fsEntry(t)
+	p, err := Prepare(e, 200, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp, err := RunCampaign(p.Target(0), Config{
+		Strategy: AfterFence, Budget: 2, Seed: 1, RecoverySteps: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if camp.Tested != 2 {
+		t.Fatalf("tested %d points, want 2", camp.Tested)
+	}
+	for _, pt := range camp.Points {
+		if pt.Inconsistent == nil || !pt.Inconsistent.Hung {
+			t.Fatalf("point %d: want hung verdict under the step bound, got %+v",
+				pt.Pos, pt.Inconsistent)
+		}
+	}
+}

@@ -42,7 +42,9 @@ type Span struct{ Start, End int }
 
 // mutates reports whether a workload op kind can modify the structure;
 // read-only ops never open store windows and need no span.
-func mutates(k ycsb.OpKind) bool { return k != ycsb.OpGet && k != ycsb.OpScan }
+func mutates(k ycsb.OpKind) bool {
+	return k != ycsb.OpGet && k != ycsb.OpScan && k != ycsb.OpRead
+}
 
 // Prepare records one instrumented execution of the application with the
 // device-op journal enabled and operation spans captured. The workload,

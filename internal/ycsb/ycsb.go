@@ -32,13 +32,20 @@ const (
 	OpIncr
 	OpDecr
 	OpWrite
+	// Filesystem operations (MadFS-POSIX): paths are keys, OpRename's
+	// destination path travels in Value, OpRead is the lock-free reader.
+	OpCreate
+	OpRename
+	OpUnlink
+	OpRead
 )
 
 var opNames = map[OpKind]string{
 	OpInsert: "insert", OpUpdate: "update", OpGet: "get", OpDelete: "delete",
 	OpScan: "scan", OpSet: "set", OpAdd: "add", OpReplace: "replace",
 	OpAppend: "append", OpPrepend: "prepend", OpCAS: "cas", OpIncr: "incr",
-	OpDecr: "decr", OpWrite: "write",
+	OpDecr: "decr", OpWrite: "write", OpCreate: "create", OpRename: "rename",
+	OpUnlink: "unlink", OpRead: "read",
 }
 
 func (k OpKind) String() string {
@@ -96,6 +103,10 @@ type Spec struct {
 	// FileSize/WriteSize configure OpWrite workloads (MadFS).
 	FileSize  uint64
 	WriteSize uint64
+	// LoadKind is the load-phase operation; the zero value is OpInsert
+	// (the KV specs), filesystem specs populate the namespace with
+	// OpCreate.
+	LoadKind OpKind
 }
 
 // DefaultSpec is the paper's configuration: 8 threads, 1k-insert load phase,
@@ -147,7 +158,7 @@ func Generate(spec Spec, seed int64) *Workload {
 	key := zipf.NextScrambled
 
 	for i := 0; i < spec.LoadCount; i++ {
-		w.Load = append(w.Load, Op{Kind: OpInsert, Key: key(), Value: rng.Uint64()})
+		w.Load = append(w.Load, Op{Kind: spec.LoadKind, Key: key(), Value: rng.Uint64()})
 	}
 
 	total := 0
@@ -182,6 +193,9 @@ func Generate(spec Spec, seed int64) *Workload {
 			op.Off = (zipf.Next() * spec.WriteSize) % spec.FileSize
 			op.Len = spec.WriteSize
 		}
+		if op.Kind == OpRename {
+			op.Value = key() // destination path from the same zipf stream
+		}
 		w.Threads[t] = append(w.Threads[t], op)
 	}
 	return w
@@ -198,6 +212,32 @@ func FileSpec(opCount int) Spec {
 		Mix:       Mix{{OpWrite, 1}},
 		FileSize:  4 << 20,
 		WriteSize: 4096,
+	}
+}
+
+// FSMix is the POSIX operation mix for the filesystem scenarios: a
+// create/write/append/rename/unlink/read blend with enough renames and
+// lock-free reads to exercise the namespace commit protocols.
+func FSMix() Mix {
+	return Mix{
+		{OpCreate, 20}, {OpWrite, 15}, {OpAppend, 25},
+		{OpRename, 15}, {OpUnlink, 5}, {OpRead, 20},
+	}
+}
+
+// FSSpec is the MadFS-POSIX workload: a create-populated namespace followed
+// by the POSIX mix over zipf-distributed paths of a small (2 KB-file)
+// filesystem, so racing operations collide on hot names.
+func FSSpec(opCount int) Spec {
+	return Spec{
+		Threads:   8,
+		LoadCount: 64,
+		LoadKind:  OpCreate,
+		OpCount:   opCount,
+		KeySpace:  512,
+		Mix:       FSMix(),
+		FileSize:  2048,
+		WriteSize: 256,
 	}
 }
 

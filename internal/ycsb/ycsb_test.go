@@ -99,6 +99,91 @@ func TestFileSpec(t *testing.T) {
 	}
 }
 
+// TestFSSpecShape: the filesystem workload populates the namespace with
+// creates, draws a destination path for every rename, and uses every
+// operation of the POSIX mix.
+func TestFSSpecShape(t *testing.T) {
+	w := Generate(FSSpec(4000), 11)
+	if len(w.Load) != 64 {
+		t.Fatalf("load ops = %d, want 64", len(w.Load))
+	}
+	for _, op := range w.Load {
+		if op.Kind != OpCreate {
+			t.Fatalf("load phase op = %v, want create", op.Kind)
+		}
+	}
+	seen := map[OpKind]bool{}
+	renames, moved := 0, 0
+	for _, ops := range w.Threads {
+		for _, op := range ops {
+			seen[op.Kind] = true
+			if op.Kind == OpRename {
+				renames++
+				if op.Value != op.Key {
+					moved++
+				}
+			}
+		}
+	}
+	// Destinations come from their own zipf draw, so nearly all renames
+	// actually move the name.
+	if renames == 0 || moved < renames/2 {
+		t.Fatalf("rename destinations look undrawn: %d renames, %d with a distinct destination", renames, moved)
+	}
+	for _, k := range []OpKind{OpCreate, OpWrite, OpAppend, OpRename, OpUnlink, OpRead} {
+		if !seen[k] {
+			t.Errorf("operation %v never generated", k)
+		}
+	}
+}
+
+// TestFSSpecDeterministic: two same-seed FSSpec generators produce identical
+// streams — the property every campaign and differential rests on.
+func TestFSSpecDeterministic(t *testing.T) {
+	a := Generate(FSSpec(2000), 42)
+	b := Generate(FSSpec(2000), 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different filesystem workloads")
+	}
+	c := Generate(FSSpec(2000), 43)
+	if reflect.DeepEqual(a.Threads, c.Threads) {
+		t.Fatal("different seeds produced identical filesystem workloads")
+	}
+}
+
+// TestSpecGoldens pins the first operations of the pre-existing specs to
+// hardcoded values: adding the filesystem op kinds and LoadKind must not
+// shift the RNG stream of any existing workload — recorded campaigns and
+// cross-version comparisons depend on byte-identical regeneration.
+func TestSpecGoldens(t *testing.T) {
+	w := Generate(DefaultSpec(24), 42)
+	wantLoad := []Op{
+		{Kind: OpInsert, Key: 783774, Value: 9832119173398632219},
+		{Kind: OpInsert, Key: 663324, Value: 1926012586526624009},
+		{Kind: OpInsert, Key: 904623, Value: 3534334367214237261},
+	}
+	if !reflect.DeepEqual(w.Load[:3], wantLoad) {
+		t.Fatalf("DefaultSpec load stream shifted:\n got %+v\nwant %+v", w.Load[:3], wantLoad)
+	}
+	wantMain := []Op{
+		{Kind: OpGet, Key: 492591, Value: 3250603394152834696},
+		{Kind: OpGet, Key: 279271, Value: 4124062994344535519},
+		{Kind: OpInsert, Key: 1040384, Value: 15350457090105392934},
+	}
+	if !reflect.DeepEqual(w.Threads[0], wantMain) {
+		t.Fatalf("DefaultSpec main stream shifted:\n got %+v\nwant %+v", w.Threads[0], wantMain)
+	}
+	f := Generate(FileSpec(24), 7)
+	wantFile := []Op{
+		{Kind: OpWrite, Key: 3543, Value: 11449779372969249750, Off: 2293760, Len: 4096},
+		{Kind: OpWrite, Key: 43035, Value: 7527948831010731783, Off: 503808, Len: 4096},
+		{Kind: OpWrite, Key: 19158, Value: 14107507587918963079, Off: 8192, Len: 4096},
+	}
+	if !reflect.DeepEqual(f.Threads[0], wantFile) {
+		t.Fatalf("FileSpec stream shifted:\n got %+v\nwant %+v", f.Threads[0], wantFile)
+	}
+}
+
 func TestMemcachedSpecUsesAllCommands(t *testing.T) {
 	w := Generate(MemcachedSpec(10000), 4)
 	seen := map[OpKind]bool{}
@@ -148,7 +233,7 @@ func TestOpKindString(t *testing.T) {
 }
 
 func TestSaveLoadRoundTrip(t *testing.T) {
-	for _, spec := range []Spec{DefaultSpec(500), FileSpec(200), MemcachedSpec(300)} {
+	for _, spec := range []Spec{DefaultSpec(500), FileSpec(200), MemcachedSpec(300), FSSpec(400)} {
 		w := Generate(spec, 13)
 		var buf bytes.Buffer
 		if err := Save(&buf, w); err != nil {
