@@ -14,6 +14,7 @@
 package bench
 
 import (
+	"bytes"
 	"math/rand"
 	"runtime"
 	"strconv"
@@ -397,26 +398,61 @@ func BenchmarkInstrumentation(b *testing.B) {
 	b.ReportMetric(float64(rt.Trace.Len()), "events")
 }
 
-// BenchmarkTraceCodec measures the binary trace encode/decode throughput.
+// BenchmarkTraceCodec measures binary trace encode/decode throughput per
+// format version on the same 100k-op workloads BenchmarkParallelAnalysis
+// uses — the capture-once/analyze-many IO cost. bytes/op via -benchmem (the
+// encoded size is reported as trace-B/op), decode MB/s via SetBytes.
 func BenchmarkTraceCodec(b *testing.B) {
-	e, err := apps.Lookup("TurboHash")
-	if err != nil {
-		b.Fatal(err)
+	versions := []struct {
+		name string
+		opts trace.Options
+	}{
+		{"v1", trace.Options{Version: 1}},
+		{"v2", trace.Options{Version: 2}},
+		{"v2-flate", trace.Options{Version: 2, Compress: true}},
 	}
-	w := ycsb.Generate(e.Spec(2000), 42)
-	rt, err := apps.Run(e, w, apps.RunConfig{Seed: 42})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.Run("encode", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			var sink countWriter
-			if err := trace.Encode(&sink, rt.Trace); err != nil {
+	for _, name := range []string{"Fast-Fair", "Memcached-pmem"} {
+		e, err := apps.Lookup(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops := 100000
+		if e.MaxOps > 0 && ops > e.MaxOps {
+			ops = e.MaxOps
+		}
+		w := ycsb.Generate(e.Spec(ops), 42)
+		rt, err := apps.Run(e, w, apps.RunConfig{Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range versions {
+			v := v
+			var enc bytes.Buffer
+			if err := trace.EncodeWith(&enc, rt.Trace, v.opts); err != nil {
 				b.Fatal(err)
 			}
-			b.SetBytes(int64(sink))
+			raw := enc.Bytes()
+			b.Run("encode/"+benchName(e.Name, ops)+"/"+v.name, func(b *testing.B) {
+				b.SetBytes(int64(len(raw)))
+				for i := 0; i < b.N; i++ {
+					var sink countWriter
+					if err := trace.EncodeWith(&sink, rt.Trace, v.opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(len(raw)), "trace-B/op")
+			})
+			b.Run("decode/"+benchName(e.Name, ops)+"/"+v.name, func(b *testing.B) {
+				b.SetBytes(int64(len(raw)))
+				for i := 0; i < b.N; i++ {
+					if _, err := trace.Decode(bytes.NewReader(raw)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(rt.Trace.Len()), "events/op")
+			})
 		}
-	})
+	}
 }
 
 func benchName(app string, ops int) string {

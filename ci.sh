@@ -48,6 +48,25 @@ go test -run '^$' -bench . -benchtime 1x ./...
 go test -run '^$' -bench 'BenchmarkParallelAnalysis/.*/(workers=1|reference)$' -benchtime 1x .
 go run ./cmd/pmlint -baseline pmlint.baseline ./...
 
+# Trace round-trip smoke: a stored trace must BE the trace. Capture once per
+# format version, re-analyze the file through the streaming decoder, and
+# require the JSON report to be byte-identical to the in-process analysis of
+# the same run; then one targeted iteration of the codec benchmark so the
+# decode path stays runnable under the harness.
+TRACE_TMP=$(mktemp -d)
+trap 'rm -rf "$TRACE_TMP"' EXIT
+for fmt in "1" "2" "2 -trace-compress"; do
+    # shellcheck disable=SC2086 # $fmt intentionally splits into flags
+    go run ./cmd/hawkset -app Fast-Fair -ops 1000 -seed 7 \
+        -trace-out "$TRACE_TMP/t.hwkt" -trace-format $fmt \
+        -json "$TRACE_TMP/inproc.json"
+    go run ./cmd/hawkset -app Fast-Fair -ops 1000 -seed 7 \
+        -trace-in "$TRACE_TMP/t.hwkt" -json "$TRACE_TMP/file.json"
+    diff "$TRACE_TMP/inproc.json" "$TRACE_TMP/file.json"
+    go run ./cmd/tracedump -head 3 "$TRACE_TMP/t.hwkt" > /dev/null
+done
+go test -run '^$' -bench 'BenchmarkTraceCodec/decode' -benchtime 1x .
+
 if go run ./cmd/pmcheck -app Fast-Fair -ops 800 -inject -budget 8 -deadline 60s; then
     echo "ci: buggy Fast-Fair crash campaign unexpectedly clean" >&2
     exit 1
@@ -66,7 +85,7 @@ go run ./cmd/pmcheck -app MadFS-POSIX -ops 600 -fixed -inject -budget 8 -deadlin
 
 # pmopt smoke: deterministic JSON on two apps, then one gated elimination.
 PMOPT_TMP=$(mktemp -d)
-trap 'rm -rf "$PMOPT_TMP"' EXIT
+trap 'rm -rf "$TRACE_TMP" "$PMOPT_TMP"' EXIT
 for app in P-ART P-Masstree; do
     go run ./cmd/pmopt -app "$app" -ops 400 -seed 1 -json > "$PMOPT_TMP/$app.1.json"
     go run ./cmd/pmopt -app "$app" -ops 400 -seed 1 -json > "$PMOPT_TMP/$app.2.json"
@@ -77,7 +96,7 @@ go run ./cmd/pmopt -app P-Masstree -ops 400 -seed 1 -apply -budget 8
 # pmcheckd daemon smoke: stream through the daemon, diff against offline
 # Analyze (-verify), SIGTERM-drain, assert clean exit.
 PMCHECKD_TMP=$(mktemp -d)
-trap 'rm -rf "$PMOPT_TMP" "$PMCHECKD_TMP"' EXIT
+trap 'rm -rf "$TRACE_TMP" "$PMOPT_TMP" "$PMCHECKD_TMP"' EXIT
 go build -o "$PMCHECKD_TMP/" ./cmd/pmcheckd ./cmd/pmcheck
 "$PMCHECKD_TMP/pmcheckd" -listen "unix:$PMCHECKD_TMP/d.sock" \
     -dir "$PMCHECKD_TMP/store" -tenant-table &

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -54,8 +55,10 @@ func main() {
 		list     = flag.Bool("list", false, "list registered applications and exit")
 		wlIn     = flag.String("workload", "", "run this workload file instead of generating one")
 		wlOut    = flag.String("workload-out", "", "save the generated workload to this file (reproducible corpus artifact)")
-		traceOut = flag.String("trace-out", "", "write the captured trace to this file")
-		traceIn  = flag.String("trace-in", "", "skip execution; analyze this trace file")
+		traceOut = flag.String("trace-out", "", "write the captured trace to this file (format v2 by default)")
+		traceIn  = flag.String("trace-in", "", "skip execution; analyze this trace file (v1 or v2, auto-detected)")
+		traceFmt = flag.Int("trace-format", 2, "trace format version for -trace-out (1 or 2)")
+		traceZip = flag.Bool("trace-compress", false, "flate-compress v2 trace blocks for -trace-out")
 	)
 	var obsFlags obscli.Flags
 	obsFlags.Register(flag.CommandLine)
@@ -83,20 +86,62 @@ func main() {
 	cfg.Workers = *workers
 	cfg.Metrics = metrics
 
-	var tr *trace.Trace
 	var entry *apps.Entry
+	var res *hawkset.Result
 	if *traceIn != "" {
+		// A stored trace carries no application identity, so classification
+		// is available only when -app is given explicitly; the report is then
+		// labeled exactly as the in-process run would label it.
+		if flagWasSet("app") {
+			var err error
+			entry, err = apps.Lookup(*appName)
+			if err != nil {
+				fatal(err)
+			}
+		}
 		f, err := os.Open(*traceIn)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		tr, err = trace.Decode(f)
+		start := time.Now()
+		dec, err := trace.NewDecoder(f)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("loaded trace: %d events, %d threads\n", tr.Len(), tr.Threads())
+		// Stream decode → analysis: events flow straight into the stage-①/②
+		// pipeline; the trace is never materialized as a []Event.
+		st := hawkset.NewStream(dec.Sites(), cfg)
+		nevents := 0
+		maxTID := int32(-1)
+		for {
+			e, err := dec.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				fatal(err)
+			}
+			nevents++
+			if e.TID > maxTID {
+				maxTID = e.TID
+			}
+			if (e.Kind == trace.KThreadCreate || e.Kind == trace.KThreadJoin) && e.Kid > maxTID {
+				maxTID = e.Kid
+			}
+			if err := st.Feed(e); err != nil {
+				fatal(err)
+			}
+		}
+		f.Close()
+		fmt.Printf("loaded trace (format v%d): %d events, %d threads\n", dec.Version(), nevents, maxTID+1)
+		if res, err = st.Finish(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("analysis: %v, %d store records, %d load records, %d pairs checked\n",
+			time.Since(start).Round(time.Millisecond),
+			res.Stats.StoreRecords, res.Stats.LoadRecords, res.Stats.PairsChecked)
 	} else {
+		var tr *trace.Trace
 		var err error
 		entry, err = apps.Lookup(*appName)
 		if err != nil {
@@ -149,21 +194,22 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			if err := trace.Encode(f, tr); err != nil {
+			opts := trace.Options{Version: *traceFmt, Compress: *traceZip}
+			if err := trace.EncodeWith(f, tr, opts); err != nil {
 				fatal(err)
 			}
 			if err := f.Close(); err != nil {
 				fatal(err)
 			}
-			fmt.Printf("trace written to %s\n", *traceOut)
+			fmt.Printf("trace written to %s (format v%d)\n", *traceOut, *traceFmt)
 		}
-	}
 
-	start := time.Now()
-	res := hawkset.Analyze(tr, cfg)
-	fmt.Printf("analysis: %v, %d store records, %d load records, %d pairs checked\n",
-		time.Since(start).Round(time.Millisecond),
-		res.Stats.StoreRecords, res.Stats.LoadRecords, res.Stats.PairsChecked)
+		start = time.Now()
+		res = hawkset.Analyze(tr, cfg)
+		fmt.Printf("analysis: %v, %d store records, %d load records, %d pairs checked\n",
+			time.Since(start).Round(time.Millisecond),
+			res.Stats.StoreRecords, res.Stats.LoadRecords, res.Stats.PairsChecked)
+	}
 
 	if *jsonOut != "" {
 		var classify report.Classifier
@@ -221,6 +267,16 @@ func main() {
 	if err := obsFlags.Dump(metrics); err != nil {
 		fatal(err)
 	}
+}
+
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func fatal(err error) {

@@ -72,6 +72,7 @@ func main() {
 		remote   = flag.String("remote", "", "stream trace events to this pmcheckd address (host:port or unix:/path) instead of crash-checking")
 		tenant   = flag.String("tenant", "", "tenant name for -remote (default: derived from app and seed)")
 		verify   = flag.Bool("verify", false, "with -remote: also analyze offline and require a byte-identical report")
+		compress = flag.Bool("compress", false, "with -remote: flate-compress segment payloads on the wire")
 	)
 	var obsFlags obscli.Flags
 	obsFlags.Register(flag.CommandLine)
@@ -82,7 +83,7 @@ func main() {
 	metrics := obsFlags.Registry()
 
 	if *remote != "" {
-		if err := runRemote(*remote, *tenant, *appName, *ops, *seed, *fixed, *verify, *jsonOut, metrics); err != nil {
+		if err := runRemote(*remote, *tenant, *appName, *ops, *seed, *fixed, *verify, *compress, *jsonOut, metrics); err != nil {
 			fatal(err)
 		}
 		if err := obsFlags.Dump(metrics); err != nil {
@@ -201,7 +202,7 @@ func checkOne(e *apps.Entry, ops int, seed int64, fixed, inject bool, metrics *o
 // additionally retained locally and analyzed offline; the two documents
 // must be byte-identical — the end-to-end form of the differential
 // invariant the pmcheckd tests enforce.
-func runRemote(addr, tenant, appName string, ops int, seed int64, fixed, verify, jsonOut bool, metrics *obs.Registry) error {
+func runRemote(addr, tenant, appName string, ops int, seed int64, fixed, verify, compress, jsonOut bool, metrics *obs.Registry) error {
 	entry, err := apps.Lookup(appName)
 	if err != nil {
 		return err
@@ -224,6 +225,7 @@ func runRemote(addr, tenant, appName string, ops int, seed int64, fixed, verify,
 		Tenant:   tenant,
 		App:      entry.Name,
 		Workload: workload,
+		Compress: compress,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "pmcheck: remote: "+format+"\n", args...)
 		},

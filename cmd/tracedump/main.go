@@ -1,5 +1,5 @@
 // Command tracedump decodes and inspects a binary HawkSet trace file
-// captured with `hawkset -trace-out`.
+// captured with `hawkset -trace-out` (either format version).
 //
 // Usage:
 //
@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -32,13 +33,42 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	tr, err := trace.Decode(f)
+	dec, err := trace.NewDecoder(f)
 	if err != nil {
 		fatal(err)
 	}
 
-	fmt.Printf("trace: %d events, %d threads, %d sites\n", tr.Len(), tr.Threads(), tr.Sites.Len()-1)
-	counts := tr.Counts()
+	// One streaming pass: summary counters always, event lines only while
+	// below the -head/-events cutoff. The trace is never held in memory.
+	listing := *events || *head > 0
+	counts := make(map[trace.Kind]int)
+	nevents, maxTID := 0, int32(-1)
+	for {
+		e, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if listing && (*head <= 0 || nevents < *head) {
+			fmt.Printf("%7d %-40s %s\n", nevents, e.String(), dec.Sites().Lookup(e.Site))
+		}
+		counts[e.Kind]++
+		nevents++
+		if e.TID > maxTID {
+			maxTID = e.TID
+		}
+		if (e.Kind == trace.KThreadCreate || e.Kind == trace.KThreadJoin) && e.Kid > maxTID {
+			maxTID = e.Kid
+		}
+	}
+
+	if listing {
+		fmt.Println()
+	}
+	fmt.Printf("trace: format v%d, %d events, %d threads, %d sites\n",
+		dec.Version(), nevents, maxTID+1, dec.Sites().Len()-1)
 	kinds := make([]trace.Kind, 0, len(counts))
 	for k := range counts {
 		kinds = append(kinds, k)
@@ -46,18 +76,6 @@ func main() {
 	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
 	for _, k := range kinds {
 		fmt.Printf("  %-8s %d\n", k, counts[k])
-	}
-
-	if *events || *head > 0 {
-		n := tr.Len()
-		if *head > 0 && *head < n {
-			n = *head
-		}
-		fmt.Println()
-		for i := 0; i < n; i++ {
-			e := tr.Events[i]
-			fmt.Printf("%7d %-40s %s\n", i, e.String(), tr.Sites.Lookup(e.Site))
-		}
 	}
 }
 

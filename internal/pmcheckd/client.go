@@ -42,6 +42,9 @@ type ClientConfig struct {
 	BackoffMax  time.Duration
 	// Seed drives the backoff jitter (deterministic for tests; 0 = 1).
 	Seed int64
+	// Compress flate-compresses segment payload blocks before they leave
+	// the process. Worth it on slow links; the daemon accepts either.
+	Compress bool
 	// Logf, when non-nil, receives retry/resume diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -235,7 +238,7 @@ func (c *Client) flushSegment() error {
 		Frames: frames[1+c.sentFrames:],
 		Events: c.buf,
 	}
-	payload, err := trace.EncodeSegment(nil, seg)
+	payload, err := trace.EncodeSegmentWith(nil, seg, trace.Options{Compress: c.cfg.Compress})
 	if err != nil {
 		return err
 	}

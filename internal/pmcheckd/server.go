@@ -2,7 +2,6 @@ package pmcheckd
 
 import (
 	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -14,6 +13,7 @@ import (
 
 	"hawkset/internal/hawkset"
 	"hawkset/internal/obs"
+	"hawkset/internal/trace"
 )
 
 // Config configures a daemon instance.
@@ -345,9 +345,9 @@ func (s *Server) handleConn(sc *serverConn) {
 		var it tenantItem
 		switch kind {
 		case fSegment:
-			seq, n := binary.Uvarint(payload)
-			if n <= 0 {
-				sc.sendError(errors.New("pmcheckd: segment without sequence number"))
+			seq, err := trace.PeekSegmentSeq(payload)
+			if err != nil {
+				sc.sendError(fmt.Errorf("pmcheckd: segment without sequence number: %w", err))
 				return
 			}
 			it = tenantItem{kind: recSegment, seq: seq, payload: payload, conn: sc}

@@ -240,9 +240,9 @@ func (t *tenant) finishedReport() []byte {
 func (t *tenant) recoverRecord(kind byte, payload []byte) error {
 	switch kind {
 	case recSegment:
-		seq, n := binary.Uvarint(payload)
-		if n <= 0 {
-			return errors.New("pmcheckd: recovered segment without sequence number")
+		seq, err := trace.PeekSegmentSeq(payload)
+		if err != nil {
+			return fmt.Errorf("pmcheckd: recovered segment without sequence number: %w", err)
 		}
 		if seq != t.acked.Load()+1 {
 			return fmt.Errorf("pmcheckd: recovered segment gap: got seq %d, want %d", seq, t.acked.Load()+1)

@@ -29,6 +29,19 @@ func FuzzWire(f *testing.F) {
 	f.Add(encodeAck(ack{Acked: 1 << 40, Credits: 3}))
 	f.Add([]byte{recSegment, 5, 1, 2, 3, 4, 5, recFinish, 1, 9})
 	f.Add([]byte{recSegment, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	// A well-formed v2 segment payload (block codec, 0x00 'S' marker), so
+	// the fuzzer mutates from inside the v2 framing.
+	segV2, err := trace.EncodeSegment(nil, &trace.Segment{
+		Seq:    3,
+		Events: []trace.Event{{Kind: trace.KStore, TID: 1, Addr: 128, Size: 8, Site: 2}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(segV2)
+	// A v1 segment header claiming 2^40 site frames with nothing behind it:
+	// must be rejected by the frame cap, never allocated for.
+	f.Add([]byte{1, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x40})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Frame stream: handshake, then frames until the data runs out or a

@@ -1,0 +1,367 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/hex"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hawkset/internal/sites"
+)
+
+// bigTrace builds a multi-block trace (> 64 KiB of raw v2 payload) with the
+// mixed per-thread locality real instrumentation produces.
+func bigTrace(n int) *Trace {
+	rng := rand.New(rand.NewSource(7))
+	tr := New()
+	siteIDs := make([]sites.ID, 40)
+	for i := range siteIDs {
+		siteIDs[i] = tr.Sites.Named("site" + string(rune('a'+i%26)) + string(rune('0'+i/26)))
+	}
+	addrs := make([]uint64, 8)
+	for len(tr.Events) < n {
+		tid := int32(rng.Intn(8))
+		// A scheduling stretch: one thread runs for a while.
+		for burst := rng.Intn(50) + 1; burst > 0 && len(tr.Events) < n; burst-- {
+			site := siteIDs[rng.Intn(len(siteIDs))]
+			switch rng.Intn(10) {
+			case 0:
+				tr.Append(Event{Kind: KLockAcq, TID: tid, Lock: uint64(rng.Intn(8)), Site: site})
+			case 1:
+				tr.Append(Event{Kind: KLockRel, TID: tid, Lock: uint64(rng.Intn(8)), Site: site})
+			case 2:
+				tr.Append(Event{Kind: KFlush, TID: tid, Addr: addrs[tid] / 64 * 64, Site: site})
+				tr.Append(Event{Kind: KFence, TID: tid, Site: site})
+			case 3:
+				tr.Append(Event{Kind: KLoad, TID: tid, Addr: addrs[tid], Size: 8, Site: site})
+			default:
+				addrs[tid] += uint64(rng.Intn(256))
+				tr.Append(Event{Kind: KStore, TID: tid, Addr: addrs[tid], Size: uint32(1 << rng.Intn(4)), Site: site})
+			}
+		}
+	}
+	return tr
+}
+
+// TestGoldenV1Fixture pins the v1 format byte-for-byte: the committed
+// fixture must decode to the sample trace, and re-encoding that trace as v1
+// must reproduce the committed bytes exactly. If either direction drifts,
+// previously captured traces are no longer readable.
+func TestGoldenV1Fixture(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "golden_v1.hwkt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("golden v1 fixture no longer decodes: %v", err)
+	}
+	want := sampleTrace()
+	if !reflect.DeepEqual(got.Events, want.Events) {
+		t.Fatalf("golden fixture events differ:\n got %v\nwant %v", got.Events, want.Events)
+	}
+	if !reflect.DeepEqual(got.Sites.Frames(), want.Sites.Frames()) {
+		t.Fatalf("golden fixture site tables differ")
+	}
+	var reenc bytes.Buffer
+	if err := EncodeWith(&reenc, want, Options{Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reenc.Bytes(), raw) {
+		t.Fatalf("v1 re-encode is not byte-identical to the committed fixture (%d vs %d bytes)",
+			reenc.Len(), len(raw))
+	}
+}
+
+// TestDecodeRejectsTrailingGarbage is the regression for the bug where
+// Decode stopped reading at the declared event count and silently accepted
+// whatever followed. Both versions must require EOF after the last event.
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	for _, o := range []Options{{Version: 1}, {Version: 2}, {Version: 2, Compress: true}} {
+		var buf bytes.Buffer
+		if err := EncodeWith(&buf, sampleTrace(), o); err != nil {
+			t.Fatal(err)
+		}
+		clean := append([]byte(nil), buf.Bytes()...)
+		if _, err := Decode(bytes.NewReader(clean)); err != nil {
+			t.Fatalf("v%d: clean trace rejected: %v", o.version(), err)
+		}
+		for _, tail := range [][]byte{{0x00}, {0xFF}, []byte("HWKT")} {
+			dirty := append(append([]byte(nil), clean...), tail...)
+			if _, err := Decode(bytes.NewReader(dirty)); err == nil {
+				t.Fatalf("v%d: trace with %d trailing bytes accepted", o.version(), len(tail))
+			}
+		}
+	}
+}
+
+// TestCrossVersionRoundTrip: v1 encode → decode → v2 encode → decode yields
+// an identical trace (and back), the compatibility contract that lets old
+// captures be re-encoded into the new format losslessly.
+func TestCrossVersionRoundTrip(t *testing.T) {
+	for _, tr := range []*Trace{sampleTrace(), bigTrace(30000)} {
+		var v1buf bytes.Buffer
+		if err := EncodeWith(&v1buf, tr, Options{Version: 1}); err != nil {
+			t.Fatal(err)
+		}
+		fromV1, err := Decode(&v1buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range []Options{{Version: 2}, {Version: 2, Compress: true}} {
+			var v2buf bytes.Buffer
+			if err := EncodeWith(&v2buf, fromV1, o); err != nil {
+				t.Fatal(err)
+			}
+			fromV2, err := Decode(&v2buf)
+			if err != nil {
+				t.Fatalf("decoding v2 re-encode (compress=%v): %v", o.Compress, err)
+			}
+			if !reflect.DeepEqual(fromV2.Events, tr.Events) {
+				t.Fatalf("v1→v2 round trip changed events (compress=%v)", o.Compress)
+			}
+			if !reflect.DeepEqual(fromV2.Sites.Frames(), tr.Sites.Frames()) {
+				t.Fatalf("v1→v2 round trip changed site table (compress=%v)", o.Compress)
+			}
+		}
+	}
+}
+
+// TestStreamingEncodeDecode drives the streaming pair directly: Write one
+// event at a time, Next them back out, never materializing a []Event.
+func TestStreamingEncodeDecode(t *testing.T) {
+	tr := bigTrace(30000)
+	for _, compress := range []bool{false, true} {
+		var buf bytes.Buffer
+		enc, err := NewEncoder(&buf, tr.Sites, Options{Compress: compress})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range tr.Events {
+			if err := enc.Write(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := enc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Close(); err == nil {
+			t.Fatal("second Close accepted")
+		}
+
+		dec, err := NewDecoder(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Version() != 2 {
+			t.Fatalf("Version = %d, want 2", dec.Version())
+		}
+		for i, want := range tr.Events {
+			got, err := dec.Next()
+			if err != nil {
+				t.Fatalf("event %d (compress=%v): %v", i, compress, err)
+			}
+			if got != want {
+				t.Fatalf("event %d: got %v want %v", i, got, want)
+			}
+		}
+		if _, err := dec.Next(); err != io.EOF {
+			t.Fatalf("after last event: %v, want io.EOF", err)
+		}
+		if _, err := dec.Next(); err != io.EOF {
+			t.Fatalf("Next after EOF: %v, want io.EOF", err)
+		}
+	}
+}
+
+// TestV2CorruptionDetected: every single-byte corruption of a v2 trace that
+// still decodes must decode to the same events — in practice the CRC or a
+// structural check rejects it; what must never happen is a silent
+// mis-decode into different events.
+func TestV2CorruptionDetected(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	rejected := 0
+	for i := range raw {
+		for _, flip := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), raw...)
+			mut[i] ^= flip
+			got, err := Decode(bytes.NewReader(mut))
+			if err != nil {
+				rejected++
+				continue
+			}
+			if !reflect.DeepEqual(got.Events, tr.Events) {
+				t.Fatalf("flipping byte %d (mask %#02x) silently mis-decoded the event payload", i, flip)
+			}
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no corruption was ever rejected; the CRC is not being checked")
+	}
+}
+
+// TestV2UnknownFlagsRejected: reserved header flag bits must fail loudly so
+// they stay available for future format extensions.
+func TestV2UnknownFlagsRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Layout: "HWKT" (4) + version uvarint (1 byte for 2) + flags byte.
+	raw[5] |= 0x80
+	if _, err := Decode(bytes.NewReader(raw)); err == nil {
+		t.Fatal("unknown v2 header flag accepted")
+	}
+}
+
+// TestV2SmallerThanV1 sanity-checks the point of the format on a
+// realistically-shaped trace; the full ≥3× target is measured by
+// BenchmarkTraceCodec on the 100k application workloads.
+func TestV2SmallerThanV1(t *testing.T) {
+	tr := bigTrace(30000)
+	size := func(o Options) int {
+		var buf bytes.Buffer
+		if err := EncodeWith(&buf, tr, o); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Len()
+	}
+	v1, v2, v2z := size(Options{Version: 1}), size(Options{Version: 2}), size(Options{Version: 2, Compress: true})
+	if v2 >= v1 {
+		t.Fatalf("v2 (%d bytes) not smaller than v1 (%d bytes)", v2, v1)
+	}
+	if v2z >= v1 {
+		t.Fatalf("v2-flate (%d bytes) not smaller than v1 (%d bytes)", v2z, v1)
+	}
+	t.Logf("sizes: v1=%d v2=%d (%.2fx) v2-flate=%d (%.2fx)",
+		v1, v2, float64(v1)/float64(v2), v2z, float64(v1)/float64(v2z))
+}
+
+// TestSegmentV1GoldenBytes pins the legacy segment layout byte-for-byte:
+// pmcheckd segment logs written before the v2 codec must stay replayable,
+// so the v1 encoder may never drift.
+func TestSegmentV1GoldenBytes(t *testing.T) {
+	seg := &Segment{
+		Seq:    7,
+		Frames: []sites.Frame{{File: "a.go", Line: 1, Func: "f"}},
+		Events: []Event{{Kind: KStore, TID: 1, Addr: 64, Size: 8, Site: 1}},
+	}
+	enc, err := EncodeSegmentV1(nil, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := hex.DecodeString("070104612e676f010166010101014008")
+	if !bytes.Equal(enc, want) {
+		t.Fatalf("v1 segment encoding drifted:\n got %x\nwant %x", enc, want)
+	}
+	// Append-style: the caller's prefix is extended in place, not copied.
+	pre := []byte{0xAA, 0xBB}
+	enc2, err := EncodeSegmentV1(pre, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc2, append([]byte{0xAA, 0xBB}, want...)) {
+		t.Fatalf("prefix not preserved: %x", enc2)
+	}
+	dec, err := DecodeSegment(enc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Seq != 7 || !reflect.DeepEqual(dec.Events, seg.Events) || !reflect.DeepEqual(dec.Frames, seg.Frames) {
+		t.Fatalf("golden v1 segment decoded to %+v", dec)
+	}
+}
+
+// TestSegmentCrossVersion: both segment encodings of the same segment
+// decode identically, and PeekSegmentSeq reads the right sequence number
+// out of each without full decoding.
+func TestSegmentCrossVersion(t *testing.T) {
+	tr := bigTrace(5000)
+	seg := &Segment{Seq: 42, Frames: tr.Sites.Frames()[1:], Events: tr.Events}
+	for _, o := range []Options{{Version: 1}, {Version: 2}, {Version: 2, Compress: true}} {
+		enc, err := EncodeSegmentWith(nil, seg, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := PeekSegmentSeq(enc)
+		if err != nil || seq != 42 {
+			t.Fatalf("v%d: PeekSegmentSeq = %d, %v; want 42", o.version(), seq, err)
+		}
+		dec, err := DecodeSegment(enc, 1)
+		if err != nil {
+			t.Fatalf("v%d: %v", o.version(), err)
+		}
+		if dec.Seq != seg.Seq || !reflect.DeepEqual(dec.Events, seg.Events) || !reflect.DeepEqual(dec.Frames, seg.Frames) {
+			t.Fatalf("v%d segment round trip differs", o.version())
+		}
+	}
+}
+
+// TestSegmentV1RejectsSeqZero: sequence numbers are 1-based; 0 would
+// collide with the v2 marker byte, so the v1 encoder refuses it.
+func TestSegmentV1RejectsSeqZero(t *testing.T) {
+	if _, err := EncodeSegmentV1(nil, &Segment{Seq: 0}); err == nil {
+		t.Fatal("v1 segment with seq 0 accepted")
+	}
+}
+
+// TestSegmentFrameCountBomb is the regression for the unbounded-frame-
+// preallocation bug: a corrupt header claiming 2^40 site frames must be
+// rejected by the count cap, not drive the frame-decode loop.
+func TestSegmentFrameCountBomb(t *testing.T) {
+	// v1: seq=1, nsites=2^40.
+	bombV1 := []byte{1, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x40}
+	if _, err := DecodeSegment(bombV1, 1); err == nil {
+		t.Fatal("v1 frame-count bomb accepted")
+	}
+	// v2: marker, flags=0, seq=1, nsites=2^40.
+	bombV2 := append([]byte{segMarker0, segMarker1, 2, 0, 1},
+		0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x40)
+	if _, err := DecodeSegment(bombV2, 1); err == nil {
+		t.Fatal("v2 frame-count bomb accepted")
+	}
+	// Just above the cap, with no frame data behind it: also rejected by the
+	// cap (not by running out of input — the error must mention the count).
+	over := binaryAppendUvarintHelper([]byte{1}, maxSegmentFrames+1)
+	if _, err := DecodeSegment(over, 1); err == nil {
+		t.Fatal("frame count just above cap accepted")
+	}
+}
+
+func binaryAppendUvarintHelper(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// TestPeekSegmentSeqHostile: arbitrary prefixes never panic and truncated
+// sequence numbers are errors.
+func TestPeekSegmentSeqHostile(t *testing.T) {
+	for _, data := range [][]byte{
+		nil,
+		{},
+		{0x00},
+		{0x00, 'S'},
+		{0x00, 'X', 2, 0, 1},
+		{0x00, 'S', 9, 0, 1},
+		{0x00, 'S', 2, 0},
+		{0x80},
+		{0x80, 0x80},
+	} {
+		if _, err := PeekSegmentSeq(data); err == nil {
+			t.Fatalf("PeekSegmentSeq(%x) accepted", data)
+		}
+	}
+}
